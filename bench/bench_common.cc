@@ -1,0 +1,32 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace prr::bench {
+
+std::vector<exp::ArmConfig> three_way_arms() {
+  return {exp::ArmConfig::linux_arm(), exp::ArmConfig::rfc3517_arm(),
+          exp::ArmConfig::prr_arm()};
+}
+
+std::vector<std::string> quantile_row(const std::string& label,
+                                      const util::Samples& s,
+                                      const std::vector<double>& quantiles,
+                                      int precision, bool with_mean) {
+  std::vector<std::string> row{label};
+  for (double q : quantiles) {
+    row.push_back(util::Table::fmt(s.quantile(q / 100.0), precision));
+  }
+  if (with_mean) row.push_back(util::Table::fmt(s.mean(), precision));
+  return row;
+}
+
+void print_header(const std::string& experiment,
+                  const std::string& paper_summary) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper reports: %s\n", paper_summary.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace prr::bench

@@ -1,0 +1,29 @@
+// Shared helpers for the experiment binaries in bench/: the standard
+// three recovery arms, quantile-row formatting, and paper-vs-measured
+// table printing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "util/quantiles.h"
+#include "util/table.h"
+
+namespace prr::bench {
+
+// The paper's standard 3-way comparison (all CUBIC + FACK, §5).
+std::vector<exp::ArmConfig> three_way_arms();
+
+// Formats a quantile row over the given sample set.
+std::vector<std::string> quantile_row(const std::string& label,
+                                      const util::Samples& s,
+                                      const std::vector<double>& quantiles,
+                                      int precision = 0,
+                                      bool with_mean = false);
+
+// Prints a header identifying the experiment and what the paper reports.
+void print_header(const std::string& experiment,
+                  const std::string& paper_summary);
+
+}  // namespace prr::bench

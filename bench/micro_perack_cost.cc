@@ -1,0 +1,103 @@
+// Microbenchmarks (google-benchmark): per-ACK cost of the PRR state
+// machine, the recovery policies, and the SACK scoreboard — the code
+// that runs on every ACK of every connection in a server, so constant
+// factors matter.
+#include <benchmark/benchmark.h>
+
+#include "core/prr.h"
+#include "tcp/recovery/prr.h"
+#include "tcp/recovery/rate_halving.h"
+#include "tcp/recovery/rfc3517.h"
+#include "tcp/scoreboard.h"
+
+namespace {
+
+constexpr uint32_t kMss = 1460;
+
+void BM_PrrOnAck(benchmark::State& state) {
+  prr::core::PrrState s;
+  s.enter_recovery(100 * kMss, 70 * kMss, kMss);
+  uint64_t pipe = 90 * kMss;
+  for (auto _ : state) {
+    const uint64_t sndcnt = s.on_ack(kMss, pipe);
+    s.on_data_sent(sndcnt);
+    benchmark::DoNotOptimize(sndcnt);
+    pipe = pipe > kMss ? pipe - kMss : 90 * kMss;
+    if (s.prr_delivered() > 95 * kMss) {
+      s.enter_recovery(100 * kMss, 70 * kMss, kMss);
+    }
+  }
+}
+BENCHMARK(BM_PrrOnAck);
+
+template <typename Policy>
+void BM_PolicyOnAck(benchmark::State& state) {
+  Policy p;
+  p.on_enter(100 * kMss, 50 * kMss, 100 * kMss, kMss);
+  prr::tcp::RecoveryAckContext ctx;
+  ctx.delivered_bytes = kMss;
+  ctx.pipe_bytes = 80 * kMss;
+  ctx.mss = kMss;
+  uint64_t cwnd = 100 * kMss;
+  int acks = 0;
+  for (auto _ : state) {
+    ctx.cwnd_bytes = cwnd;
+    cwnd = p.on_ack(ctx);
+    p.on_sent(kMss);
+    benchmark::DoNotOptimize(cwnd);
+    if (++acks % 128 == 0) {
+      p.on_enter(100 * kMss, 50 * kMss, 100 * kMss, kMss);
+      cwnd = 100 * kMss;
+    }
+  }
+}
+BENCHMARK(BM_PolicyOnAck<prr::tcp::PrrRecovery>);
+BENCHMARK(BM_PolicyOnAck<prr::tcp::RateHalvingRecovery>);
+BENCHMARK(BM_PolicyOnAck<prr::tcp::Rfc3517Recovery>);
+
+void BM_ScoreboardSackProcessing(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    prr::tcp::Scoreboard sb(kMss);
+    sb.reset(0);
+    for (int i = 0; i < window; ++i) {
+      sb.on_transmit(static_cast<uint64_t>(i) * kMss,
+                     static_cast<uint64_t>(i + 1) * kMss,
+                     prr::sim::Time::zero());
+    }
+    state.ResumeTiming();
+    // One SACK per segment from the middle of the window outward.
+    for (int i = window / 2; i < window; ++i) {
+      prr::net::Segment ack;
+      ack.is_ack = true;
+      ack.ack = 0;
+      ack.sacks.push_back({static_cast<uint64_t>(window / 2) * kMss,
+                           static_cast<uint64_t>(i + 1) * kMss});
+      benchmark::DoNotOptimize(
+          sb.on_ack(ack, prr::sim::Time::zero(), true));
+    }
+    benchmark::DoNotOptimize(sb.pipe());
+  }
+}
+BENCHMARK(BM_ScoreboardSackProcessing)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ScoreboardPipe(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  prr::tcp::Scoreboard sb(kMss);
+  sb.reset(0);
+  for (int i = 0; i < window; ++i) {
+    sb.on_transmit(static_cast<uint64_t>(i) * kMss,
+                   static_cast<uint64_t>(i + 1) * kMss,
+                   prr::sim::Time::zero());
+  }
+  sb.update_loss_marks(3, true, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sb.pipe());
+  }
+}
+BENCHMARK(BM_ScoreboardPipe)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

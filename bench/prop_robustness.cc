@@ -1,0 +1,96 @@
+// §4.3 property bench: robustness of DeliveredData. Sweeps ACK loss and
+// stretch-ACK (LRO) factors and reports, per recovery algorithm, how
+// precisely each converges to the congestion-control target window
+// (|cwnd_after_recovery - ssthresh| in segments) and the recovery
+// timeout rate.
+//
+// Paper: rate halving relies on counting ACKs, so ACK loss and stretch
+// ACKs make it under-transmit and end recovery with too-small windows;
+// PRR's DeliveredData-based accounting is invariant to how delivery
+// notifications are packed into ACKs.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/web_workload.h"
+
+using namespace prr;
+
+namespace {
+
+struct Impairment {
+  const char* name;
+  double ack_loss;
+  uint32_t stretch;
+};
+
+double mean_exit_error_segs(const exp::ArmResult& r) {
+  util::Samples s = r.recovery_log.cwnd_minus_ssthresh_exit_segs();
+  double acc = 0;
+  for (double v : s.values()) acc += std::abs(v);
+  return s.count() == 0 ? 0 : acc / static_cast<double>(s.count());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "§4.3 robustness: DeliveredData vs ACK counting under ACK loss and "
+      "stretch ACKs",
+      "PRR converges to ssthresh regardless of ACK packing; rate halving "
+      "(per-ACK accounting) degrades as ACKs are lost or coalesced");
+
+  const Impairment sweeps[] = {
+      {"clean ACK path", 0.0, 1},
+      {"10% ACK loss", 0.10, 1},
+      {"25% ACK loss", 0.25, 1},
+      {"LRO stretch x2", 0.0, 2},
+      {"LRO stretch x4", 0.0, 4},
+      {"20% loss + stretch x2", 0.20, 2},
+  };
+
+  util::Table t({"impairment", "arm", "mean |cwnd_exit - ssthresh| [segs]",
+                 "timeouts in recovery", "recovery events"});
+  for (const auto& imp : sweeps) {
+    workload::WebWorkloadParams p;
+    p.ack_loss_prob = imp.ack_loss;
+    p.stretch_client_fraction = imp.stretch > 1 ? 1.0 : 0.0;
+    workload::WebWorkload pop(p);
+
+    // Override the stretch factor through the population by abusing the
+    // fraction: build a tiny adapter population instead.
+    class StretchPop final : public workload::Population {
+     public:
+      StretchPop(workload::WebWorkload base, uint32_t k)
+          : base_(std::move(base)), k_(k) {}
+      workload::ConnectionSample sample(sim::Rng rng) const override {
+        auto s = base_.sample(rng);
+        s.ack_stretch = k_;
+        // An aggressive offload engine: hold ACKs long enough that
+        // coalescing actually happens at access-link ACK spacing.
+        s.ack_stretch_flush = sim::Time::milliseconds(40);
+        return s;
+      }
+
+     private:
+      workload::WebWorkload base_;
+      uint32_t k_;
+    } spop(pop, imp.stretch);
+
+    exp::RunOptions opts;
+    opts.connections = 5000;
+    opts.seed = 31;
+    auto results = exp::run_arms(spop, bench::three_way_arms(), opts);
+    for (const auto& r : results) {
+      t.add_row({imp.name, r.name,
+                 util::Table::fmt(mean_exit_error_segs(r), 2),
+                 std::to_string(r.metrics.timeouts_in_recovery),
+                 std::to_string(r.recovery_log.count())});
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Expected shape: PRR's exit error stays near zero across all "
+      "impairments; Linux's grows with ACK loss and stretch factor.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "core/prr.h"
+
+#include <algorithm>
+
+namespace prr::core {
+
+void PrrState::enter_recovery(uint64_t flight_size, uint64_t ssthresh,
+                              uint32_t mss) {
+  in_recovery_ = true;
+  proportional_mode_ = true;
+  mss_ = mss == 0 ? 1 : mss;
+  recover_fs_ = std::max<uint64_t>(flight_size, 1);
+  ssthresh_ = ssthresh;
+  prr_delivered_ = 0;
+  prr_out_ = 0;
+  cwnd_ = ssthresh;
+}
+
+uint64_t PrrState::on_ack(uint64_t delivered_bytes, uint64_t pipe_bytes) {
+  prr_delivered_ += delivered_bytes;
+
+  int64_t sndcnt = 0;
+  const int64_t out = static_cast<int64_t>(prr_out_);
+  if (pipe_bytes > ssthresh_) {
+    // Proportional part: pace the window reduction across the ACK clock
+    // so that when prr_delivered -> RecoverFS, prr_out -> ssthresh.
+    // CEIL(prr_delivered * ssthresh / RecoverFS) - prr_out.
+    proportional_mode_ = true;
+    const __int128 num = static_cast<__int128>(prr_delivered_) * ssthresh_;
+    const uint64_t target = static_cast<uint64_t>(
+        (num + recover_fs_ - 1) / recover_fs_);
+    sndcnt = static_cast<int64_t>(target) - out;
+  } else {
+    // Reduction bound: pipe has fallen to/below ssthresh (heavy loss or
+    // application stall); stop reducing and rebuild pipe toward ssthresh.
+    proportional_mode_ = false;
+    const int64_t room =
+        static_cast<int64_t>(ssthresh_) - static_cast<int64_t>(pipe_bytes);
+    int64_t limit = 0;
+    switch (bound_) {
+      case ReductionBound::kSlowStart:
+        // MAX(prr_delivered - prr_out, DeliveredData) + MSS: repay banked
+        // sending opportunities, then grow no faster than slow start.
+        limit = std::max(static_cast<int64_t>(prr_delivered_) - out,
+                         static_cast<int64_t>(delivered_bytes)) +
+                static_cast<int64_t>(mss_);
+        break;
+      case ReductionBound::kConservative:
+        // Strict packet conservation: send only as much as was delivered.
+        limit = static_cast<int64_t>(prr_delivered_) - out;
+        break;
+      case ReductionBound::kUnlimited:
+        limit = room;  // fill the hole at once (bursty)
+        break;
+    }
+    sndcnt = std::min(room, limit);
+  }
+
+  sndcnt = std::max<int64_t>(sndcnt, 0);
+  cwnd_ = pipe_bytes + static_cast<uint64_t>(sndcnt);
+  return static_cast<uint64_t>(sndcnt);
+}
+
+}  // namespace prr::core

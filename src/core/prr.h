@@ -1,0 +1,93 @@
+// Proportional Rate Reduction (Dukkipati, Mathis, Cheng, Ghobadi,
+// IMC 2011; later RFC 6937) as a standalone, dependency-free module.
+//
+// PRR regulates how many bytes a TCP sender may transmit per incoming ACK
+// during fast recovery so that (1) retransmissions are paced smoothly
+// across the ACK clock instead of in bursts or after a half-RTT silence,
+// and (2) the congestion window converges to exactly the ssthresh the
+// congestion-control algorithm chose.
+//
+// The caller (a TCP stack or, in this repo, src/tcp/recovery/prr.cc)
+// provides two inputs per ACK:
+//   - DeliveredData: newly delivered bytes this ACK indicates,
+//     delta(snd.una) + delta(SACKed) — NOT the count of ACKs received;
+//   - pipe: the RFC 3517 estimate of bytes outstanding in the network;
+// and reports every (re)transmission via on_data_sent(). The module is a
+// pure state machine: no clocks, no I/O, no allocation after entry.
+//
+// Usage:
+//   PrrState prr;
+//   prr.enter_recovery(flight_size, ssthresh_from_cc, mss);
+//   ... per ACK in recovery:
+//   uint64_t sndcnt = prr.on_ack(delivered_bytes, pipe_bytes);
+//   // transmit up to sndcnt bytes (retransmissions and/or new data)
+//   prr.on_data_sent(bytes_actually_sent);
+//   ... at the end of recovery: cwnd = prr.ssthresh().
+#pragma once
+
+#include <cstdint>
+
+namespace prr::core {
+
+// Reduction-bound variants evaluated in the IETF draft (the paper ships
+// SSRB; see §4 footnote 3 — "PRR" in the paper means PRR-SSRB):
+//   kSlowStart    (SSRB): when pipe < ssthresh, grow like slow start,
+//                 +1 MSS per delivered MSS, after repaying banked sends.
+//   kConservative (CRB): strict packet conservation; never send more than
+//                 has been delivered. Most conservative, can be slow.
+//   kUnlimited    (UB): no bound below ssthresh — send whatever rebuilds
+//                 pipe to ssthresh at once (bursty, RFC 3517-like).
+enum class ReductionBound { kSlowStart, kConservative, kUnlimited };
+
+class PrrState {
+ public:
+  explicit PrrState(ReductionBound bound = ReductionBound::kSlowStart)
+      : bound_(bound) {}
+
+  // Begins a recovery episode. `flight_size` is snd.nxt - snd.una at
+  // entry (RecoverFS), `ssthresh` the target window chosen by congestion
+  // control, both in bytes.
+  void enter_recovery(uint64_t flight_size, uint64_t ssthresh, uint32_t mss);
+
+  // Per-ACK step (Algorithm 2). Returns sndcnt: how many bytes the sender
+  // may transmit in response to this ACK. Also records the result so
+  // cwnd() reflects pipe + sndcnt.
+  uint64_t on_ack(uint64_t delivered_bytes, uint64_t pipe_bytes);
+
+  // Reports bytes actually transmitted (new data or retransmission) while
+  // in recovery; maintains prr_out.
+  void on_data_sent(uint64_t bytes) { prr_out_ += bytes; }
+
+  // Congestion window to install when recovery completes.
+  uint64_t exit_cwnd() const { return ssthresh_; }
+
+  // cwnd implied by the last on_ack (pipe + sndcnt).
+  uint64_t cwnd() const { return cwnd_; }
+
+  bool in_recovery() const { return in_recovery_; }
+  void leave_recovery() { in_recovery_ = false; }
+
+  // Observable state (the paper's three new state variables).
+  uint64_t prr_delivered() const { return prr_delivered_; }
+  uint64_t prr_out() const { return prr_out_; }
+  uint64_t recover_fs() const { return recover_fs_; }
+  uint64_t ssthresh() const { return ssthresh_; }
+  ReductionBound bound() const { return bound_; }
+
+  // True while the last on_ack used the proportional part (pipe >
+  // ssthresh); false means the slow-start / reduction-bound part ran.
+  bool in_proportional_mode() const { return proportional_mode_; }
+
+ private:
+  ReductionBound bound_;
+  bool in_recovery_ = false;
+  bool proportional_mode_ = true;
+  uint32_t mss_ = 1;
+  uint64_t recover_fs_ = 0;
+  uint64_t ssthresh_ = 0;
+  uint64_t prr_delivered_ = 0;
+  uint64_t prr_out_ = 0;
+  uint64_t cwnd_ = 0;
+};
+
+}  // namespace prr::core

@@ -1,0 +1,125 @@
+#include "exp/experiment.h"
+
+#include <memory>
+
+#include "net/loss_model.h"
+#include "net/reorder_model.h"
+#include "sim/simulator.h"
+#include "tcp/connection.h"
+
+namespace prr::exp {
+
+double ArmResult::fraction_bytes_in_fast_recovery() const {
+  uint64_t in_fr = 0;
+  for (const auto& e : recovery_log.events()) in_fr += e.bytes_sent_during;
+  return metrics.bytes_sent == 0
+             ? 0
+             : static_cast<double>(in_fr) /
+                   static_cast<double>(metrics.bytes_sent);
+}
+
+namespace {
+
+tcp::ConnectionConfig make_connection_config(
+    const workload::ConnectionSample& s, const ArmConfig& arm) {
+  tcp::ConnectionConfig cc;
+  cc.sender.mss = arm.mss;
+  cc.sender.initial_cwnd_segments = arm.initial_cwnd_segments;
+  cc.sender.cc = arm.cc;
+  cc.sender.recovery = arm.recovery;
+  cc.sender.prr_bound = arm.prr_bound;
+  cc.sender.early_retransmit = arm.early_retransmit;
+  cc.sender.tail_loss_probe = arm.tail_loss_probe;
+  cc.sender.pacing = arm.pacing;
+  cc.sender.max_rto_backoffs = arm.max_rto_backoffs;
+  cc.sender.handshake_rtt = s.rtt;  // measured during the SYN exchange
+
+  cc.sender.sack_enabled = s.client_sack;
+  cc.sender.timestamps = s.client_timestamps;
+  const bool ecn = arm.ecn || s.client_ecn;
+  cc.sender.ecn = ecn;
+  cc.receiver.sack_enabled = s.client_sack;
+  cc.receiver.dsack_enabled = s.client_dsack;
+  cc.receiver.timestamps = s.client_timestamps;
+  cc.receiver.ecn = ecn;
+
+  cc.path = net::Path::Config::symmetric(s.bandwidth, s.rtt,
+                                         s.queue_packets);
+  cc.path.data_link.ecn_mark_threshold = s.ecn_mark_threshold;
+  cc.path.ack_mangler.ack_loss_probability = s.ack_loss_prob;
+  cc.path.ack_mangler.stretch_factor = s.ack_stretch;
+  cc.path.ack_mangler.stretch_flush_timeout = s.ack_stretch_flush;
+  return cc;
+}
+
+}  // namespace
+
+ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,
+                  const RunOptions& opts) {
+  ArmResult result;
+  result.name = arm.name;
+
+  for (int i = 0; i < opts.connections; ++i) {
+    // Common random numbers: the sample and all network randomness derive
+    // from (seed, i), independent of the arm.
+    sim::Rng conn_rng = sim::Rng(opts.seed).fork(static_cast<uint64_t>(i));
+    workload::ConnectionSample sample = pop.sample(conn_rng.fork(100));
+    for (const auto& resp : sample.responses) {
+      result.total_workload_bytes += resp.bytes;
+    }
+
+    sim::Simulator sim;
+    tcp::Connection conn(sim, make_connection_config(sample, arm),
+                         conn_rng.fork(101), &result.metrics,
+                         &result.recovery_log);
+
+    // Network impairments, seeded independently of the arm.
+    {
+      auto composite = std::make_unique<net::CompositeLoss>();
+      bool any = false;
+      if (sample.loss.p_good_to_bad > 0 || sample.loss.loss_in_good > 0) {
+        composite->add(std::make_unique<net::GilbertElliottLoss>(
+            sample.loss, conn_rng.fork(102)));
+        any = true;
+      }
+      if (sample.outages) {
+        composite->add(std::make_unique<net::OutageLoss>(
+            sim, sample.outage, conn_rng.fork(104)));
+        any = true;
+      }
+      if (any) {
+        conn.path().data_link().set_loss_model(std::move(composite));
+      }
+    }
+    if (sample.reorder_prob > 0) {
+      conn.path().data_link().set_reorder_model(
+          std::make_unique<net::RandomReorder>(
+              sample.reorder_prob, sample.reorder_min, sample.reorder_max,
+              conn_rng.fork(103)));
+    }
+
+    http::ServerApp app(sim, conn, sample.responses, &result.latency);
+    if (sample.client_abandons) {
+      sim.schedule_in(sample.abandon_after,
+                      [&conn] { conn.path().kill_client(); });
+    }
+    app.start();
+    sim.run(opts.per_connection_limit);
+
+    result.total_network_transmit_time += conn.sender().network_transmit_time();
+    result.total_loss_recovery_time += conn.sender().loss_recovery_time();
+    ++result.connections_run;
+  }
+  return result;
+}
+
+std::vector<ArmResult> run_arms(const workload::Population& pop,
+                                const std::vector<ArmConfig>& arms,
+                                const RunOptions& opts) {
+  std::vector<ArmResult> results;
+  results.reserve(arms.size());
+  for (const auto& arm : arms) results.push_back(run_arm(pop, arm, opts));
+  return results;
+}
+
+}  // namespace prr::exp

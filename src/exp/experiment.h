@@ -1,0 +1,103 @@
+// N-way experiment harness: runs a population through one or more
+// recovery-algorithm arms with common random numbers (identical per-
+// connection sample paths across arms), aggregating the statistics every
+// paper table consumes. The simulator analogue of the paper's server-
+// binned A/B framework (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/prr.h"
+#include "sim/time.h"
+#include "stats/latency.h"
+#include "stats/recovery_log.h"
+#include "tcp/metrics.h"
+#include "tcp/sender.h"
+#include "workload/population.h"
+
+namespace prr::exp {
+
+struct ArmConfig {
+  std::string name;
+  tcp::RecoveryKind recovery = tcp::RecoveryKind::kPrr;
+  core::ReductionBound prr_bound = core::ReductionBound::kSlowStart;
+  tcp::CcKind cc = tcp::CcKind::kCubic;
+  tcp::EarlyRetransmitMode early_retransmit = tcp::EarlyRetransmitMode::kOff;
+  bool tail_loss_probe = false;
+  bool pacing = false;
+  bool ecn = false;  // overrides the sample's client_ecn when true
+  uint32_t initial_cwnd_segments = 10;
+  uint32_t mss = 1430;
+  int max_rto_backoffs = 7;
+
+  static ArmConfig prr_arm() {
+    ArmConfig a;
+    a.name = "PRR";
+    a.recovery = tcp::RecoveryKind::kPrr;
+    return a;
+  }
+  static ArmConfig rfc3517_arm() {
+    ArmConfig a;
+    a.name = "RFC 3517";
+    a.recovery = tcp::RecoveryKind::kRfc3517;
+    return a;
+  }
+  static ArmConfig linux_arm() {
+    ArmConfig a;
+    a.name = "Linux";
+    a.recovery = tcp::RecoveryKind::kLinuxRateHalving;
+    return a;
+  }
+};
+
+struct ArmResult {
+  std::string name;
+  tcp::Metrics metrics;
+  stats::RecoveryLog recovery_log;
+  stats::LatencyTracker latency;
+  sim::Time total_network_transmit_time;
+  sim::Time total_loss_recovery_time;
+  uint64_t connections_run = 0;
+  // Sum of all drawn response sizes: identical across arms by the
+  // common-random-numbers construction (checked in tests).
+  uint64_t total_workload_bytes = 0;
+
+  double retransmission_rate() const {
+    return metrics.data_segments_sent == 0
+               ? 0
+               : static_cast<double>(metrics.retransmits_total) /
+                     static_cast<double>(metrics.data_segments_sent);
+  }
+  double fraction_time_in_loss_recovery() const {
+    return total_network_transmit_time.is_zero()
+               ? 0
+               : total_loss_recovery_time / total_network_transmit_time;
+  }
+  double fraction_bytes_in_fast_recovery() const;
+  double fraction_fast_retransmits_lost() const {
+    return metrics.fast_retransmits == 0
+               ? 0
+               : static_cast<double>(metrics.lost_fast_retransmits) /
+                     static_cast<double>(metrics.fast_retransmits);
+  }
+};
+
+struct RunOptions {
+  int connections = 2000;
+  uint64_t seed = 42;
+  // Wall-clock cap per connection (simulated time).
+  sim::Time per_connection_limit = sim::Time::seconds(600);
+};
+
+// Runs one arm over the population.
+ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,
+                  const RunOptions& opts);
+
+// Runs several arms over the identical sample paths.
+std::vector<ArmResult> run_arms(const workload::Population& pop,
+                                const std::vector<ArmConfig>& arms,
+                                const RunOptions& opts);
+
+}  // namespace prr::exp

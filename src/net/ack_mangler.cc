@@ -1,0 +1,49 @@
+#include "net/ack_mangler.h"
+
+#include <utility>
+
+namespace prr::net {
+
+AckMangler::AckMangler(sim::Simulator& sim, Config config, sim::Rng rng,
+                       ForwardFn forward)
+    : sim_(sim),
+      config_(config),
+      rng_(rng),
+      forward_(std::move(forward)),
+      flush_timer_(sim, [this] { flush(); }) {}
+
+void AckMangler::on_ack(Segment ack) {
+  ++acks_seen_;
+  if (config_.ack_loss_probability > 0 &&
+      rng_.bernoulli(config_.ack_loss_probability)) {
+    ++acks_dropped_;
+    return;
+  }
+  if (config_.stretch_factor <= 1) {
+    ++acks_forwarded_;
+    forward_(std::move(ack));
+    return;
+  }
+  // Coalesce: keep only the newest ACK; it supersedes the held one. A
+  // DSACK report must not be swallowed, so a held DSACK is merged forward.
+  if (held_ && held_->dsack && !ack.dsack) ack.dsack = held_->dsack;
+  if (held_) ++acks_coalesced_;
+  held_ = std::move(ack);
+  ++held_count_;
+  if (held_count_ >= config_.stretch_factor) {
+    flush();
+  } else if (!flush_timer_.pending()) {
+    flush_timer_.start(config_.stretch_flush_timeout);
+  }
+}
+
+void AckMangler::flush() {
+  flush_timer_.stop();
+  if (!held_) return;
+  ++acks_forwarded_;
+  forward_(std::move(*held_));
+  held_.reset();
+  held_count_ = 0;
+}
+
+}  // namespace prr::net

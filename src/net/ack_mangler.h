@@ -1,0 +1,57 @@
+// ACK-path impairments: independent ACK loss and stretch-ACK (LRO/GRO)
+// coalescing. Because each ACK snapshots complete receiver state
+// (cumulative ACK + SACK blocks), dropping all but the last ACK of a
+// coalescing window is an exact model of receive offload: the surviving
+// ACK acknowledges everything the dropped ones did.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "net/segment.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace prr::net {
+
+class AckMangler {
+ public:
+  using ForwardFn = std::function<void(Segment)>;
+
+  struct Config {
+    double ack_loss_probability = 0.0;
+    // Stretch factor k: deliver one ACK per k generated (k=1 disables).
+    uint32_t stretch_factor = 1;
+    // A held ACK is flushed after this long even if the window isn't full,
+    // like an LRO flush timer.
+    sim::Time stretch_flush_timeout = sim::Time::microseconds(500);
+  };
+
+  AckMangler(sim::Simulator& sim, Config config, sim::Rng rng,
+             ForwardFn forward);
+
+  void on_ack(Segment ack);
+
+  uint64_t acks_seen() const { return acks_seen_; }
+  uint64_t acks_forwarded() const { return acks_forwarded_; }
+  uint64_t acks_dropped() const { return acks_dropped_; }
+  uint64_t acks_coalesced() const { return acks_coalesced_; }
+
+ private:
+  void flush();
+
+  sim::Simulator& sim_;
+  Config config_;
+  sim::Rng rng_;
+  ForwardFn forward_;
+  sim::Timer flush_timer_;
+  std::optional<Segment> held_;
+  uint32_t held_count_ = 0;
+  uint64_t acks_seen_ = 0;
+  uint64_t acks_forwarded_ = 0;
+  uint64_t acks_dropped_ = 0;
+  uint64_t acks_coalesced_ = 0;
+};
+
+}  // namespace prr::net

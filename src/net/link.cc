@@ -1,0 +1,68 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace prr::net {
+
+Link::Link(sim::Simulator& sim, Config config, DeliverFn deliver)
+    : sim_(sim),
+      config_(config),
+      deliver_(std::move(deliver)),
+      loss_(std::make_unique<NoLoss>()),
+      reorder_(std::make_unique<NoReorder>()) {}
+
+void Link::send(Segment seg) {
+  if (config_.ecn_mark_threshold > 0 && seg.ect &&
+      queue_depth() >= config_.ecn_mark_threshold) {
+    seg.ce = true;
+    ++stats_.ce_marked;
+  }
+  if (busy_) {
+    if (queue_.size() >= config_.queue_limit_packets) {
+      ++stats_.dropped_queue;
+      return;
+    }
+    queue_.push_back(std::move(seg));
+    stats_.max_queue_depth =
+        std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
+    return;
+  }
+  ++stats_.enqueued;
+  busy_ = true;
+  const sim::Time serialize = config_.rate.transmit_time(seg.wire_size());
+  sim_.schedule_in(serialize, [this, seg = std::move(seg)]() mutable {
+    finish_transmission(std::move(seg));
+  });
+}
+
+void Link::finish_transmission(Segment seg) {
+  // Serialization done: propagate (plus any reordering extra delay) and
+  // start the next queued segment.
+  if (loss_->should_drop(seg)) {
+    ++stats_.dropped_loss_model;
+  } else {
+    const sim::Time total = config_.propagation_delay +
+                            reorder_->extra_delay(seg);
+    ++stats_.delivered;
+    sim_.schedule_in(total, [this, seg = std::move(seg)]() mutable {
+      deliver_(std::move(seg));
+    });
+  }
+  busy_ = false;
+  start_transmission();
+}
+
+void Link::start_transmission() {
+  if (busy_ || queue_.empty()) return;
+  Segment seg = std::move(queue_.front());
+  queue_.pop_front();
+  ++stats_.enqueued;
+  busy_ = true;
+  const sim::Time serialize = config_.rate.transmit_time(seg.wire_size());
+  sim_.schedule_in(serialize, [this, seg = std::move(seg)]() mutable {
+    finish_transmission(std::move(seg));
+  });
+}
+
+}  // namespace prr::net

@@ -1,0 +1,70 @@
+// Point-to-point link: serialization at a fixed rate, propagation delay,
+// and a drop-tail queue bounded in packets. Loss and reordering models
+// plug in at egress (after the queue), so queue overflows and modeled
+// network drops are counted separately.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "net/loss_model.h"
+#include "net/reorder_model.h"
+#include "net/segment.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace prr::net {
+
+struct LinkStats {
+  uint64_t delivered = 0;
+  uint64_t dropped_queue = 0;
+  uint64_t dropped_loss_model = 0;
+  uint64_t enqueued = 0;
+  uint64_t max_queue_depth = 0;
+  uint64_t ce_marked = 0;
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(Segment)>;
+
+  struct Config {
+    util::DataRate rate = util::DataRate::mbps(10);
+    sim::Time propagation_delay = sim::Time::milliseconds(10);
+    std::size_t queue_limit_packets = 1000;
+    // ECN marking (RFC 3168 AQM-lite): when > 0, ECT segments arriving
+    // to a queue at/above this depth are CE-marked instead of being
+    // allowed to build further standing queue. 0 disables marking.
+    std::size_t ecn_mark_threshold = 0;
+  };
+
+  Link(sim::Simulator& sim, Config config, DeliverFn deliver);
+
+  void set_loss_model(std::unique_ptr<LossModel> m) { loss_ = std::move(m); }
+  void set_reorder_model(std::unique_ptr<ReorderModel> m) {
+    reorder_ = std::move(m);
+  }
+
+  // Enqueues a segment for transmission; drops it if the queue is full.
+  void send(Segment seg);
+
+  const LinkStats& stats() const { return stats_; }
+  std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
+
+ private:
+  void start_transmission();
+  void finish_transmission(Segment seg);
+
+  sim::Simulator& sim_;
+  Config config_;
+  DeliverFn deliver_;
+  std::unique_ptr<LossModel> loss_;
+  std::unique_ptr<ReorderModel> reorder_;
+  std::deque<Segment> queue_;
+  bool busy_ = false;
+  LinkStats stats_;
+};
+
+}  // namespace prr::net

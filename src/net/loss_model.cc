@@ -1,0 +1,50 @@
+#include "net/loss_model.h"
+
+namespace prr::net {
+
+bool GilbertElliottLoss::should_drop(const Segment&) {
+  // State transition first, then loss draw in the new state.
+  if (bad_) {
+    if (rng_.bernoulli(p_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng_.bernoulli(p_.p_good_to_bad)) bad_ = true;
+  }
+  return rng_.bernoulli(bad_ ? p_.loss_in_bad : p_.loss_in_good);
+}
+
+OutageLoss::OutageLoss(sim::Simulator& sim, Params params, sim::Rng rng)
+    : sim_(sim), params_(params), rng_(rng) {
+  outage_start_ = sim::Time::zero();
+  outage_end_ = sim::Time::zero();
+  roll_next_outage();
+}
+
+void OutageLoss::roll_next_outage() {
+  const double gap_ms =
+      rng_.exponential(params_.mean_time_between.ms_d());
+  const double dur_ms = rng_.exponential(params_.mean_duration.ms_d());
+  outage_start_ =
+      outage_end_ + sim::Time::milliseconds(static_cast<int64_t>(gap_ms));
+  outage_end_ =
+      outage_start_ + sim::Time::milliseconds(static_cast<int64_t>(dur_ms));
+}
+
+bool OutageLoss::in_outage() const {
+  return sim_.now() >= outage_start_ && sim_.now() < outage_end_;
+}
+
+bool OutageLoss::should_drop(const Segment&) {
+  while (sim_.now() >= outage_end_) roll_next_outage();
+  return in_outage();
+}
+
+bool DeterministicLoss::should_drop(const Segment& seg) {
+  if (seg.is_retransmit) {
+    ++retransmits_seen_;
+    return retransmit_drops_.count(retransmits_seen_) > 0;
+  }
+  ++originals_seen_;
+  return original_drops_.count(originals_seen_) > 0;
+}
+
+}  // namespace prr::net

@@ -1,0 +1,46 @@
+#include "net/path.h"
+
+#include <utility>
+
+namespace prr::net {
+
+Path::Config Path::Config::symmetric(util::DataRate rate, sim::Time rtt,
+                                     std::size_t queue_packets) {
+  Config c;
+  c.data_link.rate = rate;
+  c.data_link.propagation_delay = rtt / 2;
+  c.data_link.queue_limit_packets = queue_packets;
+  c.ack_link.rate = util::DataRate::mbps(100);
+  c.ack_link.propagation_delay = rtt / 2;
+  c.ack_link.queue_limit_packets = 10000;
+  return c;
+}
+
+Path::Path(sim::Simulator& sim, Config config, sim::Rng rng) : sim_(sim) {
+  data_link_ = std::make_unique<Link>(
+      sim, config.data_link,
+      [this](Segment s) {
+        if (deliver_data_) deliver_data_(std::move(s));
+      });
+  ack_link_ = std::make_unique<Link>(
+      sim, config.ack_link,
+      [this](Segment s) {
+        if (deliver_ack_) deliver_ack_(std::move(s));
+      });
+  ack_mangler_ = std::make_unique<AckMangler>(
+      sim, config.ack_mangler, rng.fork(0x41434b),
+      [this](Segment s) { ack_link_->send(std::move(s)); });
+}
+
+void Path::send_data(Segment seg) {
+  if (wire_tap) wire_tap(seg, /*is_ack=*/false, sim_.now());
+  data_link_->send(std::move(seg));
+}
+
+void Path::send_ack(Segment seg) {
+  if (client_dead_) return;
+  if (wire_tap) wire_tap(seg, /*is_ack=*/true, sim_.now());
+  ack_mangler_->on_ack(std::move(seg));
+}
+
+}  // namespace prr::net

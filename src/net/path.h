@@ -1,0 +1,65 @@
+// Duplex path between a TCP sender and receiver: a data link (loss +
+// reordering) forward and an ACK link (loss + stretch via AckMangler)
+// back. The path owns the links; endpoints attach delivery callbacks.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/ack_mangler.h"
+#include "net/link.h"
+#include "net/segment.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace prr::net {
+
+class Path {
+ public:
+  struct Config {
+    Link::Config data_link;
+    Link::Config ack_link;
+    AckMangler::Config ack_mangler;
+
+    // Convenience builder for symmetric paths: a bottleneck of `rate` with
+    // round-trip propagation time `rtt` split evenly across directions and
+    // a queue of `queue_packets`. The ACK direction is fast (ACKs are tiny
+    // and rarely the bottleneck).
+    static Config symmetric(util::DataRate rate, sim::Time rtt,
+                            std::size_t queue_packets = 1000);
+  };
+
+  Path(sim::Simulator& sim, Config config, sim::Rng rng);
+
+  // Optional wire tap: sees every data segment and every ACK at the
+  // moment it enters the network (before loss/queueing). Used by the
+  // pcap writer.
+  std::function<void(const Segment&, bool is_ack, sim::Time at)> wire_tap;
+
+  // Endpoint attachment. Must both be set before traffic flows.
+  void set_data_sink(Link::DeliverFn fn) { deliver_data_ = std::move(fn); }
+  void set_ack_sink(Link::DeliverFn fn) { deliver_ack_ = std::move(fn); }
+
+  void send_data(Segment seg);
+  void send_ack(Segment seg);
+
+  Link& data_link() { return *data_link_; }
+  Link& ack_link() { return *ack_link_; }
+  AckMangler& ack_mangler() { return *ack_mangler_; }
+
+  // Models a client that goes silent (user abandoned): all further ACK
+  // delivery stops. The sender will RTO repeatedly and eventually abort.
+  void kill_client() { client_dead_ = true; }
+  bool client_dead() const { return client_dead_; }
+
+ private:
+  sim::Simulator& sim_;
+  Link::DeliverFn deliver_data_;
+  Link::DeliverFn deliver_ack_;
+  std::unique_ptr<Link> data_link_;
+  std::unique_ptr<Link> ack_link_;
+  std::unique_ptr<AckMangler> ack_mangler_;
+  bool client_dead_ = false;
+};
+
+}  // namespace prr::net

@@ -1,0 +1,43 @@
+// Reordering model: with probability p a segment is held for an extra
+// delay, letting later segments overtake it. This reproduces the small
+// forward-path reordering the paper found in the Internet (router
+// load-balancing overtaking the last sub-MSS segment).
+#pragma once
+
+#include "net/segment.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace prr::net {
+
+class ReorderModel {
+ public:
+  virtual ~ReorderModel() = default;
+  // Extra delay to add to this segment's delivery (zero = in order).
+  virtual sim::Time extra_delay(const Segment& seg) = 0;
+};
+
+class NoReorder final : public ReorderModel {
+ public:
+  sim::Time extra_delay(const Segment&) override { return sim::Time::zero(); }
+};
+
+class RandomReorder final : public ReorderModel {
+ public:
+  RandomReorder(double probability, sim::Time min_delay, sim::Time max_delay,
+                sim::Rng rng)
+      : p_(probability), min_(min_delay), max_(max_delay), rng_(rng) {}
+
+  sim::Time extra_delay(const Segment&) override {
+    if (!rng_.bernoulli(p_)) return sim::Time::zero();
+    const double frac = rng_.uniform();
+    return min_ + (max_ - min_) * frac;
+  }
+
+ private:
+  double p_;
+  sim::Time min_, max_;
+  sim::Rng rng_;
+};
+
+}  // namespace prr::net

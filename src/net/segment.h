@@ -1,0 +1,66 @@
+// Wire model of a TCP segment. One type carries both directions: data
+// segments (seq/len) from sender to receiver and pure ACKs (ack/SACK
+// blocks/rwnd) back. Sequence numbers are 64-bit simulator-internal values;
+// wrap-aware 32-bit wire arithmetic lives in tcp/seqnum.h.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace prr::net {
+
+// Half-open byte range [start, end).
+struct SackBlock {
+  uint64_t start = 0;
+  uint64_t end = 0;
+  uint64_t len() const { return end - start; }
+  friend bool operator==(const SackBlock&, const SackBlock&) = default;
+};
+
+struct Segment {
+  // --- data direction ---
+  uint64_t seq = 0;    // first byte carried
+  uint32_t len = 0;    // payload bytes (0 for pure ACK)
+  bool is_retransmit = false;
+
+  // --- ack direction ---
+  bool is_ack = false;
+  uint64_t ack = 0;                    // cumulative: next byte expected
+  std::vector<SackBlock> sacks;        // most recently received first
+  std::optional<SackBlock> dsack;      // duplicate-SACK report (RFC 2883)
+  uint64_t rwnd = 0;                   // receive window in bytes
+
+  // --- ECN (RFC 3168), when negotiated ---
+  bool ect = false;  // ECN-capable transport (data direction)
+  bool ce = false;   // congestion experienced (set by AQM marking)
+  bool ece = false;  // ECN echo (ack direction)
+  bool cwr = false;  // congestion window reduced (data direction)
+
+  // --- timestamp option (RFC 7323), when negotiated ---
+  bool has_ts = false;
+  uint32_t tsval = 0;  // sender clock, milliseconds (wraps)
+  uint32_t tsecr = 0;  // echoed peer timestamp
+
+  // --- bookkeeping ---
+  uint64_t id = 0;          // unique per transmission
+  sim::Time tx_time;        // stamped by the sending endpoint
+
+  static constexpr uint32_t kHeaderBytes = 40;  // IP + TCP, no options
+  static constexpr uint32_t kSackBlockBytes = 8;
+  static constexpr uint32_t kTimestampBytes = 12;
+
+  uint32_t wire_size() const {
+    uint32_t options = 0;
+    if (!sacks.empty() || dsack.has_value()) {
+      options = 2 + kSackBlockBytes * static_cast<uint32_t>(
+                        sacks.size() + (dsack.has_value() ? 1 : 0));
+    }
+    if (has_ts) options += kTimestampBytes;
+    return kHeaderBytes + options + len;
+  }
+};
+
+}  // namespace prr::net

@@ -1,0 +1,49 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace prr::sim {
+
+EventId EventQueue::schedule(Time at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  cancelled_.insert(id);
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled_head();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled_head();
+  return heap_.empty() ? Time::infinite() : heap_.top().at;
+}
+
+Time EventQueue::run_next() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callable instead (events are small closures).
+  Entry e = heap_.top();
+  heap_.pop();
+  e.fn();
+  return e.at;
+}
+
+}  // namespace prr::sim

@@ -1,0 +1,58 @@
+// Binary-heap event queue with stable FIFO ordering for equal timestamps
+// and O(log n) lazy cancellation via event ids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace prr::sim {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `at`. Events with equal time fire in
+  // scheduling order. Returns an id usable with cancel().
+  EventId schedule(Time at, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or invalid id is
+  // a no-op (lazy deletion: the entry is skipped when popped).
+  void cancel(EventId id);
+
+  bool empty() const;
+  std::size_t size() const { return heap_.size() - cancelled_.size(); }
+  Time next_time() const;
+
+  // Pops and runs the earliest event; returns its time. Precondition:
+  // !empty().
+  Time run_next();
+
+ private:
+  struct Entry {
+    Time at;
+    uint64_t seq;  // tie-breaker: FIFO among equal times
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+};
+
+}  // namespace prr::sim

@@ -1,0 +1,69 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace prr::sim {
+
+namespace {
+// SplitMix64: mixes (seed, stream) into a fresh engine seed.
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97f4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+Rng Rng::fork(uint64_t stream) const {
+  return Rng(splitmix64(seed_ ^ splitmix64(stream)));
+}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+uint64_t Rng::uniform_int(uint64_t lo, uint64_t hi) {
+  return std::uniform_int_distribution<uint64_t>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double Rng::lognormal_with_mean(double mean, double sigma) {
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - s^2/2.
+  const double mu = std::log(mean) - sigma * sigma / 2.0;
+  return lognormal(mu, sigma);
+}
+
+int Rng::geometric(double mean) {
+  if (mean <= 1.0) return 1;
+  // Support {1, 2, ...} with E = mean: success prob p = 1/mean.
+  const double p = 1.0 / mean;
+  return 1 + std::geometric_distribution<int>(p)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::pareto(double scale, double shape) {
+  const double u = uniform();
+  return scale / std::pow(1.0 - u, 1.0 / shape);
+}
+
+}  // namespace prr::sim

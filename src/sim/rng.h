@@ -1,0 +1,38 @@
+// Deterministic random number generation for experiments. Every connection
+// in an experiment arm derives its own Rng from a (run seed, stream id)
+// pair so different recovery algorithms see identical sample paths
+// (common random numbers), mirroring the paper's paired A/B design.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace prr::sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : seed_(seed), engine_(seed) {}
+  // Derives an independent sub-stream; stable across runs.
+  Rng fork(uint64_t stream) const;
+
+  uint64_t seed() const { return seed_; }
+
+  double uniform();                         // [0, 1)
+  double uniform(double lo, double hi);     // [lo, hi)
+  uint64_t uniform_int(uint64_t lo, uint64_t hi);  // inclusive
+  bool bernoulli(double p);
+  double exponential(double mean);
+  double lognormal(double mu, double sigma);
+  // Lognormal parameterized by the distribution mean and sigma of the
+  // underlying normal — convenient for "mean response size 7.5 kB" specs.
+  double lognormal_with_mean(double mean, double sigma);
+  int geometric(double mean);  // >= 1, mean as given
+  double normal(double mean, double stddev);
+  double pareto(double scale, double shape);
+
+ private:
+  uint64_t seed_ = 0;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace prr::sim

@@ -1,0 +1,52 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace prr::sim {
+
+EventId Simulator::schedule_in(Time delay, std::function<void()> fn) {
+  if (delay < Time::zero()) delay = Time::zero();
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  return queue_.schedule(at, std::move(fn));
+}
+
+Time Simulator::run(Time deadline) {
+  while (step(deadline)) {
+  }
+  if (now_ < deadline && !deadline.is_infinite()) now_ = deadline;
+  return now_;
+}
+
+bool Simulator::step(Time deadline) {
+  if (queue_.empty() || queue_.next_time() > deadline) return false;
+  // Advance the clock before dispatching so callbacks see now() == their
+  // scheduled time (nested schedule_in must be relative to it).
+  now_ = queue_.next_time();
+  queue_.run_next();
+  ++events_processed_;
+  return true;
+}
+
+void Timer::start(Time delay) {
+  stop();
+  expiry_ = sim_->now() + delay;
+  id_ = sim_->schedule_in(delay, [this] {
+    id_ = kInvalidEventId;
+    expiry_ = Time::infinite();
+    on_expire_();
+  });
+}
+
+void Timer::stop() {
+  if (id_ != kInvalidEventId) {
+    sim_->cancel(id_);
+    id_ = kInvalidEventId;
+    expiry_ = Time::infinite();
+  }
+}
+
+}  // namespace prr::sim

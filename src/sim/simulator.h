@@ -1,0 +1,63 @@
+// The simulator: owns the clock and event queue, provides scheduling in
+// relative or absolute time plus cancellable Timer handles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace prr::sim {
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  // Schedules fn at now() + delay (delay clamped to >= 0).
+  EventId schedule_in(Time delay, std::function<void()> fn);
+  // Schedules fn at absolute time `at` (clamped to >= now()).
+  EventId schedule_at(Time at, std::function<void()> fn);
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  // Runs events until the queue drains or `deadline` passes. Returns the
+  // final clock value.
+  Time run(Time deadline = Time::infinite());
+
+  // Runs a single event if one exists before deadline; returns false if
+  // the queue is empty or the next event is after deadline.
+  bool step(Time deadline = Time::infinite());
+
+  bool idle() const { return queue_.empty(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  Time now_ = Time::zero();
+  EventQueue queue_;
+  uint64_t events_processed_ = 0;
+};
+
+// RAII-free cancellable timer bound to a Simulator. Rescheduling cancels
+// any pending expiry. Used for RTO, delayed-ACK, ER-delay timers.
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> on_expire)
+      : sim_(&sim), on_expire_(std::move(on_expire)) {}
+  ~Timer() { stop(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  // (Re)arms the timer to fire `delay` from now.
+  void start(Time delay);
+  void stop();
+  bool pending() const { return id_ != kInvalidEventId; }
+  Time expiry() const { return expiry_; }
+
+ private:
+  Simulator* sim_;
+  std::function<void()> on_expire_;
+  EventId id_ = kInvalidEventId;
+  Time expiry_ = Time::infinite();
+};
+
+}  // namespace prr::sim

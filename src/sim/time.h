@@ -1,0 +1,92 @@
+// Simulation time: a strong 64-bit nanosecond type with arithmetic and
+// unit helpers. All modules express time in sim::Time to avoid unit bugs.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+namespace prr::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+  static constexpr Time nanoseconds(int64_t ns) { return Time(ns); }
+  static constexpr Time microseconds(int64_t us) { return Time(us * 1000); }
+  static constexpr Time milliseconds(int64_t ms) {
+    return Time(ms * 1'000'000);
+  }
+  static constexpr Time seconds(double s) {
+    return Time(static_cast<int64_t>(s * 1e9));
+  }
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time infinite() {
+    return Time(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr int64_t us() const { return ns_ / 1000; }
+  constexpr int64_t ms() const { return ns_ / 1'000'000; }
+  constexpr double seconds_d() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double ms_d() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_infinite() const {
+    return ns_ == std::numeric_limits<int64_t>::max();
+  }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.ns_ + b.ns_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.ns_ - b.ns_); }
+  template <typename I>
+    requires std::is_integral_v<I>
+  friend constexpr Time operator*(Time a, I k) {
+    return Time(a.ns_ * static_cast<int64_t>(k));
+  }
+  template <typename I>
+    requires std::is_integral_v<I>
+  friend constexpr Time operator*(I k, Time a) {
+    return Time(a.ns_ * static_cast<int64_t>(k));
+  }
+  template <typename F>
+    requires std::is_floating_point_v<F>
+  friend constexpr Time operator*(Time a, F k) {
+    return Time(static_cast<int64_t>(static_cast<double>(a.ns_) * k));
+  }
+  friend constexpr Time operator/(Time a, int64_t k) { return Time(a.ns_ / k); }
+  friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  constexpr Time& operator+=(Time b) { ns_ += b.ns_; return *this; }
+  constexpr Time& operator-=(Time b) { ns_ -= b.ns_; return *this; }
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+
+  std::string to_string() const {
+    if (is_infinite()) return "inf";
+    if (ns_ >= 1'000'000) return std::to_string(ns_ / 1'000'000) + "ms";
+    if (ns_ >= 1'000) return std::to_string(ns_ / 1'000) + "us";
+    return std::to_string(ns_) + "ns";
+  }
+
+ private:
+  explicit constexpr Time(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr Time operator""_ms(unsigned long long v) {
+  return Time::milliseconds(static_cast<int64_t>(v));
+}
+constexpr Time operator""_us(unsigned long long v) {
+  return Time::microseconds(static_cast<int64_t>(v));
+}
+constexpr Time operator""_ns(unsigned long long v) {
+  return Time::nanoseconds(static_cast<int64_t>(v));
+}
+constexpr Time operator""_s(unsigned long long v) {
+  return Time::seconds(static_cast<double>(v));
+}
+}  // namespace literals
+
+}  // namespace prr::sim

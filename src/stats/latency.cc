@@ -1,0 +1,45 @@
+#include "stats/latency.h"
+
+namespace prr::stats {
+
+void LatencyTracker::append(const LatencyTracker& other) {
+  responses_.insert(responses_.end(), other.responses_.begin(),
+                    other.responses_.end());
+}
+
+util::Samples LatencyTracker::latency_ms(Filter f, uint64_t min_bytes,
+                                         uint64_t max_bytes) const {
+  util::Samples s;
+  for (const auto& r : responses_) {
+    if (!r.completed) continue;
+    if (r.bytes < min_bytes || r.bytes > max_bytes) continue;
+    if (f == Filter::kWithRetransmit && !r.had_retransmit) continue;
+    if (f == Filter::kWithoutRetransmit && r.had_retransmit) continue;
+    s.add(r.latency_ms());
+  }
+  return s;
+}
+
+util::Samples LatencyTracker::rtts_taken(Filter f) const {
+  util::Samples s;
+  for (const auto& r : responses_) {
+    if (!r.completed) continue;
+    if (f == Filter::kWithRetransmit && !r.had_retransmit) continue;
+    if (f == Filter::kWithoutRetransmit && r.had_retransmit) continue;
+    s.add(r.rtts_taken());
+  }
+  return s;
+}
+
+double LatencyTracker::fraction_with_retransmit() const {
+  if (responses_.empty()) return 0;
+  std::size_t n = 0, denom = 0;
+  for (const auto& r : responses_) {
+    if (!r.completed) continue;
+    ++denom;
+    n += r.had_retransmit;
+  }
+  return denom == 0 ? 0 : static_cast<double>(n) / static_cast<double>(denom);
+}
+
+}  // namespace prr::stats

@@ -1,0 +1,50 @@
+// Per-HTTP-response TCP latency tracking, using the paper's definition:
+// from when the server sends the first byte of the response until it
+// receives the ACK for the last byte (§1). Also records whether the
+// response experienced any retransmission and the path's ideal (min) RTT,
+// which Figure 1 uses as the ideal response time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/quantiles.h"
+
+namespace prr::stats {
+
+struct ResponseRecord {
+  uint64_t bytes = 0;
+  sim::Time first_byte_sent;
+  sim::Time last_byte_acked;
+  bool had_retransmit = false;
+  bool completed = false;
+  double path_rtt_ms = 0;  // configured two-way propagation delay
+
+  double latency_ms() const {
+    return (last_byte_acked - first_byte_sent).ms_d();
+  }
+  double rtts_taken() const {
+    return path_rtt_ms > 0 ? latency_ms() / path_rtt_ms : 0;
+  }
+};
+
+class LatencyTracker {
+ public:
+  void add(ResponseRecord r) { responses_.push_back(r); }
+  void append(const LatencyTracker& other);
+  const std::vector<ResponseRecord>& responses() const { return responses_; }
+
+  enum class Filter { kAll, kWithRetransmit, kWithoutRetransmit };
+
+  util::Samples latency_ms(Filter f = Filter::kAll,
+                           uint64_t min_bytes = 0,
+                           uint64_t max_bytes = UINT64_MAX) const;
+  util::Samples rtts_taken(Filter f = Filter::kAll) const;
+  double fraction_with_retransmit() const;
+
+ private:
+  std::vector<ResponseRecord> responses_;
+};
+
+}  // namespace prr::stats

@@ -1,0 +1,92 @@
+#include "stats/recovery_log.h"
+
+namespace prr::stats {
+
+void RecoveryLog::append(const RecoveryLog& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
+namespace {
+// The paper's Table 5 works in whole segments; compare pipe and ssthresh
+// in segment units so "equal" means within the same segment count.
+int seg_diff(const RecoveryEvent& e) {
+  const int64_t pipe_segs =
+      static_cast<int64_t>(e.pipe_at_start / e.mss);
+  const int64_t ss_segs = static_cast<int64_t>(e.ssthresh / e.mss);
+  return static_cast<int>(pipe_segs - ss_segs);
+}
+}  // namespace
+
+double RecoveryLog::fraction_start_below_ssthresh() const {
+  if (events_.empty()) return 0;
+  std::size_t n = 0;
+  for (const auto& e : events_) n += seg_diff(e) < 0;
+  return static_cast<double>(n) / static_cast<double>(events_.size());
+}
+
+double RecoveryLog::fraction_start_equal_ssthresh() const {
+  if (events_.empty()) return 0;
+  std::size_t n = 0;
+  for (const auto& e : events_) n += seg_diff(e) == 0;
+  return static_cast<double>(n) / static_cast<double>(events_.size());
+}
+
+double RecoveryLog::fraction_start_above_ssthresh() const {
+  if (events_.empty()) return 0;
+  std::size_t n = 0;
+  for (const auto& e : events_) n += seg_diff(e) > 0;
+  return static_cast<double>(n) / static_cast<double>(events_.size());
+}
+
+util::Samples RecoveryLog::pipe_minus_ssthresh_segs() const {
+  util::Samples s;
+  for (const auto& e : events_) s.add(e.pipe_minus_ssthresh_segs());
+  return s;
+}
+
+util::Samples RecoveryLog::cwnd_minus_ssthresh_exit_segs() const {
+  util::Samples s;
+  for (const auto& e : events_)
+    if (e.completed) s.add(e.cwnd_minus_ssthresh_at_exit_segs());
+  return s;
+}
+
+util::Samples RecoveryLog::cwnd_after_exit_segs() const {
+  util::Samples s;
+  for (const auto& e : events_)
+    if (e.completed) s.add(e.cwnd_after_exit_segs());
+  return s;
+}
+
+util::Samples RecoveryLog::recovery_time_ms() const {
+  util::Samples s;
+  for (const auto& e : events_) s.add(e.duration().ms_d());
+  return s;
+}
+
+util::Samples RecoveryLog::burst_sizes() const {
+  util::Samples s;
+  for (const auto& e : events_)
+    s.add(static_cast<double>(e.max_burst_segments));
+  return s;
+}
+
+double RecoveryLog::fraction_slow_start_after() const {
+  if (events_.empty()) return 0;
+  std::size_t n = 0, denom = 0;
+  for (const auto& e : events_) {
+    if (!e.completed) continue;
+    ++denom;
+    n += e.slow_start_after;
+  }
+  return denom == 0 ? 0 : static_cast<double>(n) / static_cast<double>(denom);
+}
+
+double RecoveryLog::fraction_with_timeout() const {
+  if (events_.empty()) return 0;
+  std::size_t n = 0;
+  for (const auto& e : events_) n += e.interrupted_by_timeout;
+  return static_cast<double>(n) / static_cast<double>(events_.size());
+}
+
+}  // namespace prr::stats

@@ -1,0 +1,71 @@
+// Per-recovery-event instrumentation: everything Tables 5, 6, 7, Fig 5 and
+// Table 10 need. The sender appends one record per fast-recovery episode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/quantiles.h"
+
+namespace prr::stats {
+
+struct RecoveryEvent {
+  sim::Time start;
+  sim::Time end;
+  // All window quantities in bytes at the named instant.
+  uint64_t pipe_at_start = 0;
+  uint64_t ssthresh = 0;
+  uint64_t cwnd_at_start = 0;
+  uint64_t cwnd_at_exit = 0;       // just prior to exit adjustment
+  uint64_t cwnd_after_exit = 0;    // after the exit adjustment
+  uint64_t pipe_at_exit = 0;
+  uint32_t mss = 1;
+  uint64_t retransmits = 0;        // segments retransmitted during event
+  uint64_t bytes_sent_during = 0;  // all data sent while in recovery
+  uint64_t max_burst_segments = 0; // largest single-ACK send burst
+  bool interrupted_by_timeout = false;
+  bool completed = false;          // snd.una reached the recovery point
+  bool slow_start_after = false;   // exited with cwnd < ssthresh
+
+  sim::Time duration() const { return end - start; }
+  // Segment-denominated views (paper tables are in segments).
+  double pipe_minus_ssthresh_segs() const {
+    return (static_cast<double>(pipe_at_start) -
+            static_cast<double>(ssthresh)) / mss;
+  }
+  double cwnd_minus_ssthresh_at_exit_segs() const {
+    return (static_cast<double>(cwnd_at_exit) -
+            static_cast<double>(ssthresh)) / mss;
+  }
+  double cwnd_after_exit_segs() const {
+    return static_cast<double>(cwnd_after_exit) / mss;
+  }
+};
+
+class RecoveryLog {
+ public:
+  void add(RecoveryEvent e) { events_.push_back(e); }
+  void append(const RecoveryLog& other);
+  const std::vector<RecoveryEvent>& events() const { return events_; }
+  std::size_t count() const { return events_.size(); }
+
+  // Table 5: fraction of events starting in each PRR mode.
+  double fraction_start_below_ssthresh() const;   // pipe < ssthresh
+  double fraction_start_equal_ssthresh() const;
+  double fraction_start_above_ssthresh() const;   // pipe > ssthresh
+
+  util::Samples pipe_minus_ssthresh_segs() const;       // Table 5 quantiles
+  util::Samples cwnd_minus_ssthresh_exit_segs() const;  // Table 6
+  util::Samples cwnd_after_exit_segs() const;           // Table 7
+  util::Samples recovery_time_ms() const;               // Fig 5
+  util::Samples burst_sizes() const;
+
+  double fraction_slow_start_after() const;  // Table 10 row
+  double fraction_with_timeout() const;
+
+ private:
+  std::vector<RecoveryEvent> events_;
+};
+
+}  // namespace prr::stats

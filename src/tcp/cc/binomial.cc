@@ -1,0 +1,32 @@
+#include "tcp/cc/binomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prr::tcp {
+
+uint64_t Binomial::ssthresh_after_loss(uint64_t cwnd_bytes) {
+  const double w = static_cast<double>(cwnd_bytes) / mss_;
+  const double target = std::max(w - beta_ * std::pow(w, l_), 2.0);
+  return static_cast<uint64_t>(target * mss_);
+}
+
+uint64_t Binomial::on_ack(uint64_t cwnd_bytes, uint64_t ssthresh_bytes,
+                          uint64_t acked_bytes, sim::Time) {
+  if (cwnd_bytes < ssthresh_bytes) {
+    return cwnd_bytes + std::min<uint64_t>(acked_bytes, mss_);
+  }
+  // Per-RTT increase of alpha / w^k segments, accumulated per ACK: each
+  // window's worth of ACKed bytes adds the full per-RTT quantum.
+  const double w = static_cast<double>(cwnd_bytes) / mss_;
+  increase_acc_segs_ +=
+      (alpha_ / std::pow(w, k_)) * (static_cast<double>(acked_bytes) /
+                                    static_cast<double>(cwnd_bytes));
+  if (increase_acc_segs_ >= 1.0) {
+    increase_acc_segs_ -= 1.0;
+    return cwnd_bytes + mss_;
+  }
+  return cwnd_bytes;
+}
+
+}  // namespace prr::tcp

@@ -1,0 +1,60 @@
+#include "tcp/cc/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prr::tcp {
+
+uint64_t Cubic::ssthresh_after_loss(uint64_t cwnd_bytes) {
+  const double cwnd_segs = static_cast<double>(cwnd_bytes) / mss_;
+  w_max_segs_ = cwnd_segs;
+  epoch_valid_ = false;  // epoch restarts on the first ACK after recovery
+  const double target = std::max(cwnd_segs * kBeta, 2.0);
+  return static_cast<uint64_t>(target * mss_);
+}
+
+uint64_t Cubic::on_ack(uint64_t cwnd_bytes, uint64_t ssthresh_bytes,
+                       uint64_t acked_bytes, sim::Time now) {
+  if (cwnd_bytes < ssthresh_bytes) {
+    return cwnd_bytes + std::min<uint64_t>(acked_bytes, mss_);
+  }
+  const double cwnd_segs = static_cast<double>(cwnd_bytes) / mss_;
+  if (!epoch_valid_) {
+    epoch_valid_ = true;
+    epoch_start_ = now;
+    if (w_max_segs_ < cwnd_segs) w_max_segs_ = cwnd_segs;
+    k_ = std::cbrt(w_max_segs_ * (1.0 - kBeta) / kC);
+    w_est_segs_ = cwnd_segs;
+    est_acc_segs_ = 0;
+  }
+  const double t = (now - epoch_start_).seconds_d();
+  const double target =
+      w_max_segs_ + kC * (t - k_) * (t - k_) * (t - k_);
+
+  // TCP-friendly region: emulate Reno/AIMD growth with the CUBIC-adjusted
+  // additive factor 3*(1-beta)/(1+beta) per RTT (approximated per ACK).
+  est_acc_segs_ += static_cast<double>(acked_bytes) / mss_;
+  const double alpha = 3.0 * (1.0 - kBeta) / (1.0 + kBeta);
+  if (est_acc_segs_ >= w_est_segs_) {
+    est_acc_segs_ -= w_est_segs_;
+    w_est_segs_ += alpha;
+  }
+
+  double next = cwnd_segs;
+  const double goal = std::max(target, w_est_segs_);
+  if (goal > cwnd_segs) {
+    // Spread the climb over roughly one RTT of ACKs.
+    next = cwnd_segs + (goal - cwnd_segs) / cwnd_segs;
+  }
+  next = std::max(next, 2.0);
+  return static_cast<uint64_t>(next * mss_);
+}
+
+void Cubic::on_timeout(sim::Time) {
+  epoch_valid_ = false;
+  w_max_segs_ = 0;
+  w_est_segs_ = 0;
+  est_acc_segs_ = 0;
+}
+
+}  // namespace prr::tcp

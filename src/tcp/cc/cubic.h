@@ -1,0 +1,35 @@
+// CUBIC (Ha, Rhee, Xu 2008): beta = 0.7 multiplicative decrease — the 30%
+// reduction the paper's proportional-part example uses ("seven new
+// segments for every ten incoming ACKs") — and real-time cubic window
+// growth with a TCP-friendly region.
+#pragma once
+
+#include "tcp/cc/congestion_control.h"
+
+namespace prr::tcp {
+
+class Cubic final : public CongestionControl {
+ public:
+  static constexpr double kBeta = 0.7;
+  static constexpr double kC = 0.4;  // segments / s^3
+
+  explicit Cubic(uint32_t mss) : mss_(mss) {}
+
+  uint64_t ssthresh_after_loss(uint64_t cwnd_bytes) override;
+  uint64_t on_ack(uint64_t cwnd_bytes, uint64_t ssthresh_bytes,
+                  uint64_t acked_bytes, sim::Time now) override;
+  void on_timeout(sim::Time now) override;
+  std::string name() const override { return "cubic"; }
+
+ private:
+  double w_max_segs_ = 0;      // window before the last reduction
+  sim::Time epoch_start_ = sim::Time::zero();
+  bool epoch_valid_ = false;
+  double k_ = 0;               // time to regain w_max (seconds)
+  double w_est_segs_ = 0;      // TCP-friendly (Reno-equivalent) window
+  double est_acc_segs_ = 0;
+
+  uint32_t mss_;
+};
+
+}  // namespace prr::tcp

@@ -1,0 +1,27 @@
+#include "tcp/cc/newreno.h"
+
+#include <algorithm>
+
+namespace prr::tcp {
+
+uint64_t NewReno::ssthresh_after_loss(uint64_t cwnd_bytes) {
+  return std::max<uint64_t>(cwnd_bytes / 2, 2 * mss_);
+}
+
+uint64_t NewReno::on_ack(uint64_t cwnd_bytes, uint64_t ssthresh_bytes,
+                         uint64_t acked_bytes, sim::Time) {
+  if (cwnd_bytes < ssthresh_bytes) {
+    // Slow start: grow by the data ACKed, at most one MSS per ACK
+    // (RFC 5681 with L = 1*SMSS).
+    return cwnd_bytes + std::min<uint64_t>(acked_bytes, mss_);
+  }
+  // Congestion avoidance: one MSS per window of data ACKed.
+  avoid_acc_ += acked_bytes;
+  if (avoid_acc_ >= cwnd_bytes) {
+    avoid_acc_ -= cwnd_bytes;
+    return cwnd_bytes + mss_;
+  }
+  return cwnd_bytes;
+}
+
+}  // namespace prr::tcp

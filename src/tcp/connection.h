@@ -1,0 +1,45 @@
+// Wires a Sender, Receiver and duplex Path into one simulated TCP
+// connection. Connections start established (the paper's latency metric
+// excludes the handshake).
+#pragma once
+
+#include <memory>
+
+#include "net/path.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "stats/recovery_log.h"
+#include "tcp/metrics.h"
+#include "tcp/receiver.h"
+#include "tcp/sender.h"
+
+namespace prr::tcp {
+
+struct ConnectionConfig {
+  SenderConfig sender;
+  Receiver::Config receiver;
+  net::Path::Config path;
+};
+
+class Connection {
+ public:
+  Connection(sim::Simulator& sim, ConnectionConfig config, sim::Rng rng,
+             Metrics* metrics = nullptr,
+             stats::RecoveryLog* recovery_log = nullptr);
+
+  // Application write on the server side.
+  void write(uint64_t bytes) { sender_->write(bytes); }
+
+  Sender& sender() { return *sender_; }
+  Receiver& receiver() { return *receiver_; }
+  net::Path& path() { return *path_; }
+  const ConnectionConfig& config() const { return config_; }
+
+ private:
+  ConnectionConfig config_;
+  std::unique_ptr<net::Path> path_;
+  std::unique_ptr<Sender> sender_;
+  std::unique_ptr<Receiver> receiver_;
+};
+
+}  // namespace prr::tcp

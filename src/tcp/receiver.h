@@ -1,0 +1,77 @@
+// TCP receiver: in-order delivery tracking, out-of-order interval store,
+// SACK block generation (RFC 2018: up to 3 blocks, most recent first),
+// DSACK reports for duplicate segments (RFC 2883), and delayed ACKs with
+// immediate ACKs on out-of-order or hole-filling data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/segment.h"
+#include "sim/simulator.h"
+
+namespace prr::tcp {
+
+class Receiver {
+ public:
+  using SendAckFn = std::function<void(net::Segment)>;
+
+  struct Config {
+    bool sack_enabled = true;
+    bool dsack_enabled = true;
+    bool timestamps = false;  // RFC 7323 (12% of paper's connections)
+    bool ecn = false;         // RFC 3168 ECN echo
+    int ack_every = 2;  // delayed ACK: one ACK per this many segments
+    // Linux-style quickack: ACK each of the first N in-order segments
+    // immediately (helps the sender's slow start clock); 0 disables.
+    int quickack_segments = 0;
+    sim::Time delack_timeout = sim::Time::milliseconds(40);
+    uint64_t rwnd = 16 * 1024 * 1024;
+    int max_sack_blocks = 3;
+  };
+
+  Receiver(sim::Simulator& sim, Config config, SendAckFn send_ack);
+
+  void on_data(const net::Segment& seg);
+
+  // Forces the advertised window to a value (0 stalls the sender); used
+  // by experiments that exercise PRR's banking under rwnd stalls.
+  void set_rwnd(uint64_t rwnd) { config_.rwnd = rwnd; }
+
+  uint64_t rcv_nxt() const { return rcv_nxt_; }
+  uint64_t segments_received() const { return segments_received_; }
+  uint64_t duplicate_segments() const { return duplicate_segments_; }
+  uint64_t acks_sent() const { return acks_sent_; }
+
+ private:
+  struct OooBlock {
+    uint64_t start;
+    uint64_t end;
+    uint64_t recency;  // higher = more recently updated
+  };
+
+  void send_ack_now(std::optional<net::SackBlock> dsack);
+  void merge_ooo(uint64_t start, uint64_t end);
+  bool covered(uint64_t start, uint64_t end) const;
+
+  sim::Simulator& sim_;
+  Config config_;
+  SendAckFn send_ack_;
+  sim::Timer delack_timer_;
+
+  uint64_t rcv_nxt_ = 0;
+  std::vector<OooBlock> ooo_;
+  uint64_t recency_counter_ = 0;
+  int unacked_segments_ = 0;
+
+  uint32_t ts_recent_ = 0;  // RFC 7323 TS.Recent to echo
+  int quickack_left_ = 0;
+  bool ece_pending_ = false;  // echo ECE until the sender's CWR arrives
+  uint64_t segments_received_ = 0;
+  uint64_t duplicate_segments_ = 0;
+  uint64_t acks_sent_ = 0;
+};
+
+}  // namespace prr::tcp

@@ -1,0 +1,21 @@
+#include "tcp/recovery/prr.h"
+
+#include "tcp/recovery/rate_halving.h"
+#include "tcp/recovery/rfc3517.h"
+
+namespace prr::tcp {
+
+std::unique_ptr<RecoveryPolicy> make_recovery_policy(
+    RecoveryKind kind, core::ReductionBound bound) {
+  switch (kind) {
+    case RecoveryKind::kRfc3517:
+      return std::make_unique<Rfc3517Recovery>();
+    case RecoveryKind::kLinuxRateHalving:
+      return std::make_unique<RateHalvingRecovery>();
+    case RecoveryKind::kPrr:
+      return std::make_unique<PrrRecovery>(bound);
+  }
+  return nullptr;
+}
+
+}  // namespace prr::tcp

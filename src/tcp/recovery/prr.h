@@ -1,0 +1,55 @@
+// Adapter binding the standalone PRR module (core/prr.h) to the
+// simulator's RecoveryPolicy interface. All three reduction-bound
+// variants (SSRB — the paper's "PRR" — plus CRB and UB for the ablation
+// bench) are selected at construction.
+#pragma once
+
+#include "core/prr.h"
+#include "tcp/recovery/recovery.h"
+
+namespace prr::tcp {
+
+class PrrRecovery final : public RecoveryPolicy {
+ public:
+  explicit PrrRecovery(
+      core::ReductionBound bound = core::ReductionBound::kSlowStart)
+      : state_(bound) {}
+
+  void on_enter(uint64_t flight_bytes, uint64_t ssthresh, uint64_t cwnd,
+                uint32_t mss) override {
+    (void)cwnd;
+    state_.enter_recovery(flight_bytes, ssthresh, mss);
+  }
+
+  uint64_t on_ack(const RecoveryAckContext& ctx) override {
+    const uint64_t sndcnt = state_.on_ack(ctx.delivered_bytes,
+                                          ctx.pipe_bytes);
+    return ctx.pipe_bytes + sndcnt;  // Algorithm 2: cwnd = pipe + sndcnt
+  }
+
+  void on_sent(uint64_t bytes) override { state_.on_data_sent(bytes); }
+
+  uint64_t exit_cwnd(uint64_t, uint64_t) override {
+    return state_.exit_cwnd();  // cwnd = ssthresh at the end of recovery
+  }
+
+  std::string name() const override {
+    switch (state_.bound()) {
+      case core::ReductionBound::kSlowStart: return "prr";
+      case core::ReductionBound::kConservative: return "prr-crb";
+      case core::ReductionBound::kUnlimited: return "prr-ub";
+    }
+    return "prr";
+  }
+
+  const core::PrrState& state() const { return state_; }
+
+ private:
+  core::PrrState state_;
+};
+
+std::unique_ptr<RecoveryPolicy> make_recovery_policy(
+    RecoveryKind kind,
+    core::ReductionBound bound = core::ReductionBound::kSlowStart);
+
+}  // namespace prr::tcp

@@ -1,0 +1,53 @@
+// Fast-recovery window regulation as a policy object. The sender owns the
+// scoreboard, chooses *which* bytes to send (retransmissions before new
+// data), and asks the policy only *how much* may be sent — the separation
+// the paper calls out ("the decision of which data to send ... is
+// independent of PRR").
+//
+// Contract per recovery episode:
+//   on_enter(...)               once, on the ACK that triggers recovery;
+//   cwnd_bytes = on_ack(...)    for every ACK during recovery, including
+//                               the triggering one. The sender may then
+//                               transmit while pipe < cwnd_bytes;
+//   on_sent(bytes)              for every (re)transmission in recovery;
+//   exit_cwnd(...)              once, when snd.una passes the recovery
+//                               point; the result becomes cwnd.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace prr::tcp {
+
+struct RecoveryAckContext {
+  uint64_t delivered_bytes = 0;  // DeliveredData for this ACK
+  uint64_t pipe_bytes = 0;       // RFC 3517 SetPipe
+  uint64_t cwnd_bytes = 0;       // sender's current cwnd
+  uint32_t mss = 1;
+};
+
+class RecoveryPolicy {
+ public:
+  virtual ~RecoveryPolicy() = default;
+
+  // `flight_bytes` is snd.nxt - snd.una at entry (RecoverFS); `ssthresh`
+  // the target chosen by congestion control; `cwnd` the window at entry.
+  virtual void on_enter(uint64_t flight_bytes, uint64_t ssthresh,
+                        uint64_t cwnd, uint32_t mss) = 0;
+
+  // Returns the cwnd (bytes) to use until the next ACK. The sender
+  // transmits while pipe < cwnd.
+  virtual uint64_t on_ack(const RecoveryAckContext& ctx) = 0;
+
+  virtual void on_sent(uint64_t bytes) = 0;
+
+  // cwnd to install on leaving recovery.
+  virtual uint64_t exit_cwnd(uint64_t pipe_bytes, uint64_t cwnd_bytes) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+enum class RecoveryKind { kRfc3517, kLinuxRateHalving, kPrr };
+
+}  // namespace prr::tcp

@@ -1,0 +1,35 @@
+#include "tcp/rto.h"
+
+#include <algorithm>
+
+namespace prr::tcp {
+
+void RtoEstimator::on_rtt_sample(sim::Time rtt) {
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+    return;
+  }
+  // RFC 6298: alpha = 1/8, beta = 1/4.
+  const sim::Time err = rtt >= srtt_ ? rtt - srtt_ : srtt_ - rtt;
+  rttvar_ = rttvar_ * 3 / 4 + err / 4;
+  srtt_ = srtt_ * 7 / 8 + rtt / 8;
+}
+
+sim::Time RtoEstimator::rto() const {
+  sim::Time base = has_sample_ ? srtt_ + 4 * rttvar_ : config_.initial_rto;
+  base = std::max(base, config_.min_rto);
+  for (int i = 0; i < backoff_shift_; ++i) {
+    base = base * 2;
+    if (base >= config_.max_rto) break;
+  }
+  return std::min(base, config_.max_rto);
+}
+
+sim::Time RtoEstimator::backoff() {
+  ++backoff_shift_;
+  return rto();
+}
+
+}  // namespace prr::tcp

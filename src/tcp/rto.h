@@ -1,0 +1,46 @@
+// RFC 6298 retransmission-timeout estimator with exponential backoff and
+// Karn's rule (callers must not feed samples from retransmitted segments).
+// The Linux-style 200 ms floor from the paper's Table 4 is the default.
+#pragma once
+
+#include "sim/time.h"
+
+namespace prr::tcp {
+
+class RtoEstimator {
+ public:
+  struct Config {
+    sim::Time initial_rto = sim::Time::seconds(1);
+    sim::Time min_rto = sim::Time::milliseconds(200);
+    sim::Time max_rto = sim::Time::seconds(120);
+  };
+
+  RtoEstimator();  // defaults (defined below: nested-class completeness)
+  explicit RtoEstimator(Config config) : config_(config) {}
+
+  // Feeds one RTT measurement (never from a retransmitted segment).
+  void on_rtt_sample(sim::Time rtt);
+
+  // Current timeout including backoff.
+  sim::Time rto() const;
+
+  // Doubles the backoff (called on each timeout). Returns new rto.
+  sim::Time backoff();
+  void reset_backoff() { backoff_shift_ = 0; }
+  int backoff_count() const { return backoff_shift_; }
+
+  bool has_sample() const { return has_sample_; }
+  sim::Time srtt() const { return srtt_; }
+  sim::Time rttvar() const { return rttvar_; }
+
+ private:
+  Config config_;
+  bool has_sample_ = false;
+  sim::Time srtt_ = sim::Time::zero();
+  sim::Time rttvar_ = sim::Time::zero();
+  int backoff_shift_ = 0;
+};
+
+inline RtoEstimator::RtoEstimator() : RtoEstimator(Config{}) {}
+
+}  // namespace prr::tcp

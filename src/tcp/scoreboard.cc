@@ -1,0 +1,260 @@
+#include "tcp/scoreboard.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prr::tcp {
+
+void Scoreboard::reset(uint64_t snd_una) {
+  snd_una_ = snd_una;
+  highest_sacked_end_ = snd_una;
+  records_.clear();
+}
+
+void Scoreboard::on_transmit(uint64_t start, uint64_t end, sim::Time now) {
+  assert(start >= snd_una_);
+  assert(records_.empty() || start >= records_.back().end);
+  SegRecord r;
+  r.start = start;
+  r.end = end;
+  r.first_tx_time = now;
+  r.last_tx_time = now;
+  records_.push_back(r);
+}
+
+SegRecord* Scoreboard::find(uint64_t start) {
+  for (auto& r : records_)
+    if (r.start <= start && start < r.end) return &r;
+  return nullptr;
+}
+
+void Scoreboard::on_retransmit(uint64_t start, sim::Time now,
+                               uint64_t snd_nxt, bool fast) {
+  SegRecord* r = find(start);
+  assert(r != nullptr);
+  r->retransmitted = true;
+  r->ever_retransmitted = true;
+  r->last_retx_was_fast = fast;
+  ++r->retrans_count;
+  r->retrans_marker = snd_nxt;
+  r->last_tx_time = now;
+}
+
+AckOutcome Scoreboard::on_ack(const net::Segment& ack, sim::Time now,
+                              bool detect_lost_retransmits) {
+  AckOutcome out;
+  // SACK frontier before this ACK: deliveries of never-retransmitted data
+  // from below it are reordering evidence (the original arrived after
+  // higher data did).
+  const uint64_t prior_fack = highest_sacked_end_;
+
+  if (ack.dsack) {
+    out.saw_dsack = true;
+    out.dsack_block = ack.dsack;
+  }
+
+  // 1. Cumulative advance: pop fully-ACKed records.
+  if (ack.ack > snd_una_) {
+    out.una_advanced = true;
+    out.newly_acked_bytes = ack.ack - snd_una_;
+    while (!records_.empty() && records_.front().end <= ack.ack) {
+      const SegRecord& r = records_.front();
+      if (!r.sacked) {
+        if (!r.ever_retransmitted && prior_fack > r.end) {
+          const int dist =
+              static_cast<int>((prior_fack - r.start) / mss_);
+          out.reorder_distance_segs =
+              std::max(out.reorder_distance_segs, std::max(dist, 1));
+        }
+        // Already-SACKed bytes were counted as delivered when SACKed; a
+        // cumulative ACK over them must not double-count.
+      } else {
+        out.newly_acked_bytes -= r.len();
+      }
+      if (!r.ever_retransmitted) {
+        // Karn: sample only never-retransmitted data; use the newest.
+        out.rtt_sample = now - r.last_tx_time;
+      } else {
+        out.acked_rexmit_tx_time = r.last_tx_time;
+      }
+      records_.pop_front();
+    }
+    // Partial-record coverage cannot happen (ACKs land on segment
+    // boundaries in this model), but guard anyway.
+    snd_una_ = ack.ack;
+    if (highest_sacked_end_ < snd_una_) highest_sacked_end_ = snd_una_;
+  }
+
+  // 2. SACK blocks: mark newly-SACKed records.
+  // Track the highest start among records SACKed by *this* ACK: only
+  // data first sent after a retransmission (seq >= the snd.nxt recorded
+  // at retransmit time) can prove that retransmission lost.
+  uint64_t max_newly_sacked_start = 0;
+  bool any_newly_sacked = false;
+  for (const auto& blk : ack.sacks) {
+    for (auto& r : records_) {
+      if (r.sacked) continue;
+      if (blk.start <= r.start && r.end <= blk.end) {
+        r.sacked = true;
+        out.newly_sacked_bytes += r.len();
+        any_newly_sacked = true;
+        max_newly_sacked_start = std::max(max_newly_sacked_start, r.start);
+        highest_sacked_end_ = std::max(highest_sacked_end_, r.end);
+        if (!r.ever_retransmitted && prior_fack > r.end) {
+          const int dist =
+              static_cast<int>((prior_fack - r.start) / mss_);
+          out.reorder_distance_segs =
+              std::max(out.reorder_distance_segs, std::max(dist, 1));
+          r.lost = false;  // it clearly is not lost
+        }
+      }
+    }
+  }
+
+  // 3. Lost-retransmission detection (Linux tcp_mark_lost_retrans): a
+  // still-unSACKed record whose retransmission predates data that was
+  // *first transmitted after it* and has now been SACKed was lost again.
+  // Sequence test: only bytes at/above the snd.nxt recorded when the
+  // retransmission went out can have been first-sent after it.
+  if (detect_lost_retransmits && any_newly_sacked) {
+    for (auto& r : records_) {
+      if (r.sacked || !r.retransmitted) continue;
+      if (r.retrans_marker > 0 &&
+          max_newly_sacked_start >= r.retrans_marker) {
+        r.retransmitted = false;  // that copy is gone; eligible again
+        r.lost = true;
+        ++out.lost_retransmits_detected;
+        if (r.last_retx_was_fast) ++out.lost_fast_retransmits_detected;
+      }
+    }
+  }
+
+  return out;
+}
+
+int Scoreboard::update_loss_marks(int dupthresh, bool use_fack,
+                                  bool in_recovery) {
+  (void)in_recovery;
+  int newly_lost = 0;
+  const uint64_t fack = highest_sacked_end_;
+  if (use_fack) {
+    // Linux FACK (tcp_update_scoreboard / tcp_mark_head_lost): with
+    // fackets_out segments between snd.una and the forward-most SACK,
+    // mark the unSACKed segments among the first fackets_out - dupthresh
+    // of them lost. Marking is progressive: each new SACK pushes the
+    // frontier and exposes one more hole.
+    if (fack <= snd_una_) return 0;
+    const uint64_t fackets =
+        (fack - snd_una_ + mss_ - 1) / mss_;
+    if (fackets <= static_cast<uint64_t>(dupthresh)) return 0;
+    const uint64_t mark_below =
+        snd_una_ + (fackets - static_cast<uint64_t>(dupthresh)) * mss_;
+    for (auto& r : records_) {
+      if (r.start >= mark_below) break;
+      if (r.sacked || r.lost) continue;
+      r.lost = true;
+      ++newly_lost;
+    }
+    return newly_lost;
+  }
+  for (auto& r : records_) {
+    if (r.sacked || r.lost) continue;
+    // RFC 6675 IsLost: more than (dupthresh-1)*SMSS SACKed bytes above.
+    if (sacked_bytes_above(r.start) >
+        static_cast<uint64_t>(dupthresh - 1) * mss_) {
+      r.lost = true;
+      ++newly_lost;
+    }
+  }
+  return newly_lost;
+}
+
+void Scoreboard::on_timeout_mark_all_lost() {
+  for (auto& r : records_) {
+    if (r.sacked) continue;
+    r.lost = true;
+    r.retransmitted = false;  // everything is slated for retransmission
+  }
+}
+
+void Scoreboard::clear_unretransmitted_loss_marks() {
+  for (auto& r : records_) {
+    if (r.lost && !r.retransmitted) r.lost = false;
+  }
+}
+
+void Scoreboard::mark_first_hole_lost() {
+  for (auto& r : records_) {
+    if (r.sacked) continue;
+    r.lost = true;
+    return;
+  }
+}
+
+uint64_t Scoreboard::pipe() const {
+  // RFC 3517 SetPipe: for each octet not SACKed, count it if not lost
+  // (still in flight) and count it again if retransmitted.
+  uint64_t pipe = 0;
+  for (const auto& r : records_) {
+    if (r.sacked) continue;
+    if (!r.lost) pipe += r.len();
+    if (r.retransmitted) pipe += r.len();
+  }
+  return pipe;
+}
+
+bool Scoreboard::first_hole_lost() const {
+  for (const auto& r : records_) {
+    if (r.sacked) continue;
+    return r.lost;
+  }
+  return false;
+}
+
+const SegRecord* Scoreboard::next_retransmit_candidate() const {
+  for (const auto& r : records_) {
+    if (r.lost && !r.sacked && !r.retransmitted) return &r;
+  }
+  return nullptr;
+}
+
+const SegRecord* Scoreboard::last_unsacked() const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (!it->sacked) return &*it;
+  }
+  return nullptr;
+}
+
+bool Scoreboard::any_sacked() const {
+  for (const auto& r : records_)
+    if (r.sacked) return true;
+  return false;
+}
+
+uint64_t Scoreboard::total_sacked_bytes() const {
+  uint64_t n = 0;
+  for (const auto& r : records_)
+    if (r.sacked) n += r.len();
+  return n;
+}
+
+int Scoreboard::sacked_segment_count() const {
+  int n = 0;
+  for (const auto& r : records_) n += r.sacked;
+  return n;
+}
+
+int Scoreboard::lost_segment_count() const {
+  int n = 0;
+  for (const auto& r : records_) n += (r.lost && !r.sacked);
+  return n;
+}
+
+uint64_t Scoreboard::sacked_bytes_above(uint64_t seq) const {
+  uint64_t n = 0;
+  for (const auto& r : records_)
+    if (r.sacked && r.start >= seq) n += r.len();
+  return n;
+}
+
+}  // namespace prr::tcp

@@ -1,0 +1,143 @@
+// Sender-side SACK scoreboard: one record per transmitted segment between
+// snd.una and snd.nxt, with the loss/retransmit state machinery of
+// RFC 2018/3517/6675 plus the Linux extras the paper's baseline uses:
+//   - FACK loss marking (threshold retransmission; holes below the
+//     forward-most SACK are lost once in recovery),
+//   - lost-retransmission detection (a retransmission is deemed lost when
+//     data sent after it is SACKed),
+//   - reordering detection (a segment presumed lost but never
+//     retransmitted is later ACKed/SACKed), which feeds the dynamic
+//     dupthresh and disables FACK.
+// The scoreboard also computes pipe (RFC 3517 SetPipe) and DeliveredData,
+// the per-ACK quantity PRR is built on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/segment.h"
+#include "sim/time.h"
+
+namespace prr::tcp {
+
+struct SegRecord {
+  uint64_t start = 0;
+  uint64_t end = 0;  // half-open
+  bool sacked = false;
+  bool lost = false;
+  // True while the most recent retransmission of this record may still be
+  // in the network (cleared when that retransmission is deemed lost).
+  bool retransmitted = false;
+  bool ever_retransmitted = false;
+  // Last retransmit was sent during fast recovery (for the lost-fast-
+  // retransmit statistic of Tables 8/10).
+  bool last_retx_was_fast = false;
+  int retrans_count = 0;
+  // snd.nxt at the moment of the last retransmission: if data above this
+  // gets SACKed while this record remains unSACKed, the retransmission
+  // itself was lost.
+  uint64_t retrans_marker = 0;
+  sim::Time first_tx_time;
+  sim::Time last_tx_time;
+
+  uint64_t len() const { return end - start; }
+};
+
+struct AckOutcome {
+  uint64_t newly_acked_bytes = 0;   // cumulative-ACK advance
+  uint64_t newly_sacked_bytes = 0;  // newly SACKed above snd.una
+  bool una_advanced = false;
+  bool saw_dsack = false;
+  std::optional<net::SackBlock> dsack_block;
+  int lost_retransmits_detected = 0;
+  int lost_fast_retransmits_detected = 0;
+  // Largest reordering distance (in segments) observed on this ACK; 0 if
+  // no reordering evidence.
+  int reorder_distance_segs = 0;
+  // Valid RTT sample per Karn's rule (never-retransmitted data only).
+  std::optional<sim::Time> rtt_sample;
+  // Last (re)transmission time of the newest cumulatively-ACKed record
+  // that had been retransmitted — the reference point for Eifel
+  // detection (RFC 3522): an echoed timestamp older than this proves the
+  // ACK came from the original transmission.
+  std::optional<sim::Time> acked_rexmit_tx_time;
+
+  // DeliveredData as PRR defines it: delta(snd.una) + delta(SACKed).
+  uint64_t delivered_bytes() const {
+    return newly_acked_bytes + newly_sacked_bytes;
+  }
+};
+
+class Scoreboard {
+ public:
+  explicit Scoreboard(uint32_t mss) : mss_(mss) {}
+
+  void reset(uint64_t snd_una);
+
+  // Records a (re)transmission covering [start, end).
+  void on_transmit(uint64_t start, uint64_t end, sim::Time now);
+  // Marks an existing record as retransmitted. `snd_nxt` stamps the
+  // lost-retransmit detection marker; `fast` tags fast vs RTO retransmits.
+  void on_retransmit(uint64_t start, sim::Time now, uint64_t snd_nxt,
+                     bool fast);
+
+  // Processes an incoming ACK: advances snd.una, applies SACK blocks,
+  // detects reordering and lost retransmissions.
+  AckOutcome on_ack(const net::Segment& ack, sim::Time now,
+                    bool detect_lost_retransmits);
+
+  // Applies loss-marking rules; returns segments newly marked lost.
+  // `in_recovery` enables the aggressive FACK rule (all holes below the
+  // forward-most SACK are lost).
+  int update_loss_marks(int dupthresh, bool use_fack, bool in_recovery);
+
+  // Marks every non-SACKed record lost and forgets in-flight
+  // retransmissions (RTO: everything is slated for retransmit).
+  void on_timeout_mark_all_lost();
+
+  // Forces the first hole lost (early-retransmit entry, where the dupack
+  // threshold was lowered below what the marking rules require).
+  void mark_first_hole_lost();
+
+  // F-RTO undo: a timeout proved spurious, so loss marks on segments that
+  // were never retransmitted are reverted (the originals are in flight).
+  void clear_unretransmitted_loss_marks();
+
+  // RFC 3517 SetPipe over the scoreboard, in bytes.
+  uint64_t pipe() const;
+
+  // Would the RFC 6675 / FACK entry condition fire (is the first
+  // outstanding segment reconstructible as lost)?
+  bool first_hole_lost() const;
+
+  // Next record to retransmit: lowest lost && !retransmitted. nullptr if
+  // none.
+  const SegRecord* next_retransmit_candidate() const;
+
+  // Highest-sequence record not yet SACKed (the tail-loss-probe target).
+  const SegRecord* last_unsacked() const;
+
+  bool has_records() const { return !records_.empty(); }
+  bool any_sacked() const;
+  bool all_acked_up_to(uint64_t seq) const { return snd_una_ >= seq; }
+  uint64_t snd_una() const { return snd_una_; }
+  uint64_t highest_sacked_end() const { return highest_sacked_end_; }
+  uint64_t total_sacked_bytes() const;
+  // Number of SACKed segments at/above snd.una — the FACK "fackets out".
+  int sacked_segment_count() const;
+  int lost_segment_count() const;
+  const std::deque<SegRecord>& records() const { return records_; }
+
+ private:
+  SegRecord* find(uint64_t start);
+  uint64_t sacked_bytes_above(uint64_t seq) const;
+
+  uint32_t mss_;
+  uint64_t snd_una_ = 0;
+  uint64_t highest_sacked_end_ = 0;
+  std::deque<SegRecord> records_;
+};
+
+}  // namespace prr::tcp

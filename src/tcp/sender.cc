@@ -1,0 +1,818 @@
+#include "tcp/sender.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <utility>
+
+#include "tcp/cc/congestion_control.h"
+#include "tcp/recovery/prr.h"
+
+namespace prr::tcp {
+
+const char* to_string(TcpState s) {
+  switch (s) {
+    case TcpState::kOpen: return "Open";
+    case TcpState::kDisorder: return "Disorder";
+    case TcpState::kRecovery: return "Recovery";
+    case TcpState::kLoss: return "Loss";
+  }
+  return "?";
+}
+
+namespace {
+// Ring of recently retransmitted ranges for spurious-retransmit (DSACK)
+// matching; bounded so long flows stay O(1).
+constexpr std::size_t kRetxHistoryLimit = 512;
+}  // namespace
+
+Sender::Sender(sim::Simulator& sim, SenderConfig config, SendFn send,
+               Metrics* metrics, stats::RecoveryLog* recovery_log)
+    : sim_(sim),
+      config_(config),
+      send_(std::move(send)),
+      metrics_(metrics),
+      recovery_log_(recovery_log),
+      cc_(make_congestion_control(config.cc, config.mss,
+                                  config.gaimd_alpha, config.gaimd_beta)),
+      policy_(make_recovery_policy(config.recovery, config.prr_bound)),
+      scoreboard_(config.mss),
+      rto_est_(config.rto),
+      rto_timer_(sim, [this] { on_rto(); }),
+      er_timer_(sim, [this] { on_er_timer(); }),
+      tlp_timer_(sim, [this] { on_tlp_timer(); }),
+      pacing_timer_(sim, [this] { try_send(); }) {
+  cwnd_ = config_.initial_cwnd_bytes();
+  dupthresh_ = config_.dupthresh;
+  fack_enabled_ = config_.use_fack;
+  if (!config_.handshake_rtt.is_zero()) {
+    rto_est_.on_rtt_sample(config_.handshake_rtt);
+  }
+  scoreboard_.reset(0);
+}
+
+// --- counter plumbing: every event bumps the per-connection counters and,
+// when present, the shared experiment-arm counters. ---
+#define COUNT(field)                 \
+  do {                               \
+    ++local_.field;                  \
+    if (metrics_) ++metrics_->field; \
+  } while (0)
+#define ADD(field, v)                  \
+  do {                                 \
+    local_.field += (v);               \
+    if (metrics_) metrics_->field += (v); \
+  } while (0)
+
+void Sender::write(uint64_t bytes) {
+  if (aborted_ || bytes == 0) return;
+  if (config_.slow_start_after_idle && snd_una_ >= snd_nxt_ &&
+      state_ == TcpState::kOpen && snd_nxt_ > 0) {
+    // Idle restart (RFC 2861): halve the window per RTO elapsed idle.
+    sim::Time idle = sim_.now() - last_transmit_;
+    const sim::Time rto = rto_est_.rto();
+    while (idle > rto && cwnd_ > config_.initial_cwnd_bytes()) {
+      cwnd_ = std::max(cwnd_ / 2, config_.initial_cwnd_bytes());
+      idle -= rto;
+    }
+  }
+  write_end_ += bytes;
+  try_send();
+}
+
+uint64_t Sender::effective_pipe() const {
+  if (config_.sack_enabled) return scoreboard_.pipe();
+  // NewReno estimate: every dupack signals one segment that left the
+  // network; the scoreboard still excludes marked-lost segments and
+  // re-adds retransmissions.
+  const uint64_t base = scoreboard_.pipe();
+  const uint64_t discount =
+      static_cast<uint64_t>(dupack_count_) * config_.mss;
+  return base > discount ? base - discount : 0;
+}
+
+bool Sender::can_send_new() const {
+  if (snd_nxt_ >= write_end_) return false;
+  if (peer_rwnd_ != UINT64_MAX &&
+      snd_nxt_ - snd_una_ + config_.mss > peer_rwnd_) {
+    return false;
+  }
+  return true;
+}
+
+void Sender::try_send() {
+  if (aborted_) return;
+  const bool retransmits_allowed =
+      state_ == TcpState::kRecovery || state_ == TcpState::kLoss;
+  // Without limited transmit (RFC 3042), a sender in Disorder may not
+  // transmit new data on dupacks at all.
+  const bool new_data_allowed =
+      state_ != TcpState::kDisorder || config_.limited_transmit;
+  while (true) {
+    const uint64_t pipe = effective_pipe();
+    const SegRecord* cand =
+        retransmits_allowed ? scoreboard_.next_retransmit_candidate()
+                            : nullptr;
+    if (cand != nullptr) {
+      // Quantize to whole segments: a send needs window room for the
+      // entire segment. This is what paces PRR's byte-exact sndcnt onto
+      // alternate ACKs instead of leaking one segment per ACK.
+      if (pipe + cand->len() > cwnd_) break;
+      if (!pacing_allows_send()) break;
+      send_retransmit(cand->start, cand->end);
+      note_paced_send();
+      continue;
+    }
+    if (!new_data_allowed || !can_send_new()) break;
+    const uint64_t len =
+        std::min<uint64_t>(config_.mss, write_end_ - snd_nxt_);
+    if (pipe + len > cwnd_) break;
+    if (!pacing_allows_send()) break;
+    send_new_segment();
+    note_paced_send();
+  }
+  // Arm (or refresh) the tail-loss-probe timer once per send batch, after
+  // snd.nxt reflects everything transmitted.
+  maybe_arm_tlp();
+}
+
+void Sender::send_new_segment() {
+  const uint64_t len =
+      std::min<uint64_t>(config_.mss, write_end_ - snd_nxt_);
+  transmit(snd_nxt_, snd_nxt_ + len, /*retx=*/false);
+  snd_nxt_ += len;
+}
+
+void Sender::send_retransmit(uint64_t start, uint64_t end) {
+  transmit(start, end, /*retx=*/true);
+}
+
+void Sender::transmit(uint64_t start, uint64_t end, bool retx) {
+  static uint64_t next_segment_id = 1;
+  const uint32_t len = static_cast<uint32_t>(end - start);
+
+  if (!retx) {
+    scoreboard_.on_transmit(start, end, sim_.now());
+  } else {
+    scoreboard_.on_retransmit(start, sim_.now(), snd_nxt_,
+                              state_ == TcpState::kRecovery);
+  }
+
+  COUNT(data_segments_sent);
+  ADD(bytes_sent, len);
+  if (retx) {
+    COUNT(retransmits_total);
+    ++retransmits_since_progress_;
+    if (undo_valid_) {
+      ++undo_retrans_;
+      retx_history_.push_back({start, end});
+      if (retx_history_.size() > kRetxHistoryLimit) retx_history_.pop_front();
+    }
+    switch (state_) {
+      case TcpState::kRecovery:
+        COUNT(fast_retransmits);
+        ++current_event_.retransmits;
+        retransmitted_this_event_ = true;
+        break;
+      case TcpState::kLoss:
+        if (rto_head_retransmit_pending_) {
+          COUNT(timeout_retransmits);
+          rto_head_retransmit_pending_ = false;
+        } else {
+          COUNT(slow_start_retransmits);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (cwr_active_ && state_ == TcpState::kOpen) {
+    cwr_prr_.on_data_sent(len);
+  }
+  if (state_ == TcpState::kRecovery) {
+    policy_->on_sent(len);
+    current_event_.bytes_sent_during += len;
+    ++burst_in_progress_;
+    current_event_.max_burst_segments =
+        std::max(current_event_.max_burst_segments, burst_in_progress_);
+  }
+
+  last_transmit_ = sim_.now();
+  // Busy-time accounting: data is now outstanding.
+  if (!busy_) {
+    busy_ = true;
+    busy_since_ = sim_.now();
+  }
+  if (!rto_timer_.pending()) rto_timer_.start(rto_est_.rto());
+
+  if (on_transmit_hook) on_transmit_hook(start, len, retx);
+
+  net::Segment seg;
+  seg.seq = start;
+  seg.len = len;
+  seg.is_retransmit = retx;
+  seg.id = next_segment_id++;
+  seg.tx_time = sim_.now();
+  if (config_.timestamps) {
+    seg.has_ts = true;
+    seg.tsval = static_cast<uint32_t>(sim_.now().ms());
+  }
+  if (config_.ecn) {
+    seg.ect = true;
+    if (cwr_flag_pending_) {
+      seg.cwr = true;
+      cwr_flag_pending_ = false;
+    }
+  }
+  send_(std::move(seg));
+}
+
+void Sender::on_ack_segment(const net::Segment& ack) {
+  if (aborted_) return;
+  if (on_ack_hook) on_ack_hook(ack);
+  if (ack.rwnd != 0) peer_rwnd_ = ack.rwnd;
+  if (ack.ack < snd_una_) return;  // ancient ACK: ignore
+
+  burst_in_progress_ = 0;
+
+  // Linux tcp_is_cwnd_limited: the window may only grow if the flight
+  // was actually filling it (RFC 2861 cwnd validation); app-limited
+  // connections must not inflate cwnd they never use.
+  cwnd_limited_ = snd_nxt_ - snd_una_ + config_.mss >= cwnd_;
+
+  AckOutcome out =
+      scoreboard_.on_ack(ack, sim_.now(), config_.detect_lost_retransmits);
+
+  if (out.lost_retransmits_detected > 0) {
+    ADD(lost_retransmits_detected,
+        static_cast<uint64_t>(out.lost_retransmits_detected));
+    ADD(lost_fast_retransmits,
+        static_cast<uint64_t>(out.lost_fast_retransmits_detected));
+  }
+  if (config_.timestamps && ack.has_ts && ack.tsecr > 0 &&
+      out.una_advanced) {
+    // Timestamp echo (RFC 7323 RTTM): sample on ACKs of new data only —
+    // the echo then reflects the segment that advanced the left edge,
+    // even when that was a retransmission (no Karn restriction). Pure
+    // dupacks echo the stale TS.Recent of older in-order data and must
+    // not feed the estimator.
+    const sim::Time echoed = sim::Time::milliseconds(ack.tsecr);
+    if (sim_.now() >= echoed) rto_est_.on_rtt_sample(sim_.now() - echoed);
+  } else if (out.rtt_sample) {
+    rto_est_.on_rtt_sample(*out.rtt_sample);
+  }
+
+  if (out.una_advanced) {
+    snd_una_ = scoreboard_.snd_una();
+    rto_est_.reset_backoff();
+    retransmits_since_progress_ = 0;
+    dupack_count_ = 0;
+    tlp_probe_outstanding_ = false;
+    if (er_timer_.pending()) {
+      er_timer_.stop();
+      COUNT(er_delayed_cancelled);
+    }
+    if (on_una_advance_hook) on_una_advance_hook(snd_una_);
+  } else if (out.newly_sacked_bytes > 0 || out.saw_dsack ||
+             (!config_.sack_enabled && ack.ack == snd_una_ &&
+              snd_nxt_ > snd_una_ && ack.len == 0)) {
+    ++dupack_count_;
+  }
+
+  if (out.reorder_distance_segs > 0) {
+    reordering_seen_ = true;
+    reorder_metric_segs_ =
+        std::max(reorder_metric_segs_, out.reorder_distance_segs);
+    if (config_.dynamic_dupthresh) {
+      dupthresh_ = std::clamp(reorder_metric_segs_, config_.dupthresh,
+                              config_.max_dupthresh);
+    }
+    fack_enabled_ = false;  // Linux: reordering disables FACK
+  }
+
+  handle_dsack(out);
+  check_eifel(ack, out);
+  if (aborted_) return;
+
+  if (config_.ecn) {
+    maybe_enter_cwr(ack);
+    process_cwr(out);
+  }
+
+  switch (state_) {
+    case TcpState::kOpen:
+      process_in_open(out);
+      break;
+    case TcpState::kDisorder:
+      process_in_disorder(out);
+      break;
+    case TcpState::kRecovery:
+      process_in_recovery(out);
+      break;
+    case TcpState::kLoss:
+      process_in_loss(out);
+      break;
+  }
+
+  try_send();
+
+  // Timer management: restart on forward progress (cumulative or SACK,
+  // as Linux re-arms on any ACK that changes what is outstanding);
+  // disarm when idle.
+  if (snd_una_ >= snd_nxt_) {
+    rto_timer_.stop();
+    tlp_timer_.stop();
+    if (busy_) {
+      busy_ = false;
+      busy_accum_ += sim_.now() - busy_since_;
+    }
+  } else if (out.una_advanced || out.newly_sacked_bytes > 0) {
+    // Progress restarts the retransmission timer — unless the probe
+    // timer currently owns the deadline (it re-arms the RTO itself).
+    if (!tlp_timer_.pending()) rto_timer_.start(rto_est_.rto());
+    maybe_arm_tlp();
+  }
+}
+
+void Sender::process_in_open(const AckOutcome& out) {
+  if (out.una_advanced) grow_cwnd_open(out.newly_acked_bytes);
+  const bool non_sack_dupack =
+      !config_.sack_enabled && !out.una_advanced && dupack_count_ > 0 &&
+      snd_nxt_ > snd_una_;
+  if (scoreboard_.any_sacked() || non_sack_dupack) {
+    state_ = TcpState::kDisorder;
+    note_transmit_state_change();
+    process_in_disorder(out);
+  }
+}
+
+void Sender::process_in_disorder(const AckOutcome& out) {
+  if (out.una_advanced && !scoreboard_.any_sacked()) {
+    // The hole filled without a retransmit (pure reordering): back to
+    // Open with no window reduction.
+    state_ = TcpState::kOpen;
+    note_transmit_state_change();
+    grow_cwnd_open(out.newly_acked_bytes);
+    return;
+  }
+  maybe_enter_recovery(out);
+}
+
+void Sender::maybe_enter_recovery(const AckOutcome& out) {
+  scoreboard_.update_loss_marks(dupthresh_, fack_enabled_,
+                                /*in_recovery=*/false);
+  const bool classic = dupack_count_ >= dupthresh_;
+  const bool fack_threshold = scoreboard_.first_hole_lost();
+  if (classic || fack_threshold) {
+    enter_recovery(out.delivered_bytes(), /*via_er=*/false);
+    return;
+  }
+  check_early_retransmit(out);
+}
+
+void Sender::check_early_retransmit(const AckOutcome& out) {
+  if (config_.early_retransmit == EarlyRetransmitMode::kOff) return;
+  if (state_ != TcpState::kDisorder) return;
+  if (snd_nxt_ <= snd_una_) return;
+  const uint64_t outstanding = snd_nxt_ - snd_una_;
+  const int osegs =
+      static_cast<int>((outstanding + config_.mss - 1) / config_.mss);
+  if (osegs >= 4) return;       // RFC 5827: only when flight < 4 segments
+  if (can_send_new()) return;   // new data would trigger normal recovery
+  const int er_thresh = std::max(1, osegs - 1);
+  if (dupack_count_ < er_thresh) return;
+  if ((config_.early_retransmit == EarlyRetransmitMode::kReorderMitigation ||
+       config_.early_retransmit == EarlyRetransmitMode::kBothMitigations) &&
+      reordering_seen_) {
+    return;  // mitigation 1: past reordering disables ER
+  }
+  if (config_.early_retransmit == EarlyRetransmitMode::kBothMitigations) {
+    // Mitigation 2: delay the early retransmit by srtt/4 (clamped); an
+    // ACK advancing snd.una cancels it.
+    if (!er_timer_.pending()) {
+      sim::Time delay = rto_est_.has_sample() ? rto_est_.srtt() / 4
+                                              : config_.er_delay_min;
+      delay = std::clamp(delay, config_.er_delay_min, config_.er_delay_max);
+      er_timer_.start(delay);
+    }
+    return;
+  }
+  enter_recovery(out.delivered_bytes(), /*via_er=*/true);
+}
+
+bool Sender::pacing_allows_send() {
+  if (!config_.pacing || !rto_est_.has_sample()) return true;
+  if (sim_.now() >= next_pace_at_) return true;
+  if (!pacing_timer_.pending()) {
+    pacing_timer_.start(next_pace_at_ - sim_.now());
+  }
+  return false;
+}
+
+void Sender::note_paced_send() {
+  if (!config_.pacing || !rto_est_.has_sample()) return;
+  // Rate = pacing_gain * cwnd / srtt  =>  one segment every
+  // srtt / (gain * cwnd_segments).
+  const double cwnd_segs = std::max(
+      1.0, static_cast<double>(cwnd_) / config_.mss);
+  const sim::Time interval =
+      rto_est_.srtt() * (1.0 / (config_.pacing_gain * cwnd_segs));
+  const sim::Time base = std::max(sim_.now(), next_pace_at_);
+  next_pace_at_ = base + interval;
+}
+
+void Sender::maybe_enter_cwr(const net::Segment& ack) {
+  if (!ack.ece || cwr_active_ || state_ != TcpState::kOpen) return;
+  if (snd_nxt_ <= snd_una_) return;
+  // RFC 3168 + RFC 6937: one window reduction per RTT of ECE signals,
+  // paced by PRR rather than applied in a single step.
+  cwr_active_ = true;
+  cwr_point_ = snd_nxt_;
+  cwr_flag_pending_ = true;
+  ssthresh_ = cc_->ssthresh_after_loss(cwnd_);
+  cwr_prr_.enter_recovery(snd_nxt_ - snd_una_, ssthresh_, config_.mss);
+  COUNT(ecn_cwr_events);
+}
+
+void Sender::process_cwr(const AckOutcome& out) {
+  if (!cwr_active_) return;
+  if (state_ != TcpState::kOpen) {
+    // Loss recovery supersedes the ECN reduction.
+    cwr_active_ = false;
+    return;
+  }
+  if (snd_una_ >= cwr_point_) {
+    cwnd_ = std::max<uint64_t>(cwr_prr_.exit_cwnd(), config_.mss);
+    cwr_active_ = false;
+    return;
+  }
+  const uint64_t sndcnt =
+      cwr_prr_.on_ack(out.delivered_bytes(), effective_pipe());
+  cwnd_ = effective_pipe() + sndcnt;
+}
+
+void Sender::maybe_arm_tlp() {
+  if (!config_.tail_loss_probe) return;
+  if (state_ != TcpState::kOpen || snd_una_ >= snd_nxt_ ||
+      tlp_probe_outstanding_) {
+    tlp_timer_.stop();
+    return;
+  }
+  sim::Time pto;
+  if (rto_est_.has_sample()) {
+    pto = 2 * rto_est_.srtt();
+    if (snd_nxt_ - snd_una_ <= config_.mss) {
+      // A single outstanding segment may be sitting behind a delayed-ACK
+      // timer at the receiver; wait it out before probing.
+      pto += config_.tlp_delack_bound;
+    }
+    pto = std::max(pto, config_.tlp_min_pto);
+  } else {
+    pto = rto_est_.rto();
+  }
+  pto = std::min(pto, rto_est_.rto());
+  tlp_timer_.start(pto);
+  // The probe timer supersedes the retransmission timer (as in Linux,
+  // where ICSK_TIME_LOSS_PROBE replaces ICSK_TIME_RETRANS); the RTO is
+  // re-armed when the probe fires.
+  rto_timer_.stop();
+}
+
+void Sender::on_tlp_timer() {
+  if (aborted_ || state_ != TcpState::kOpen) return;
+  if (snd_una_ >= snd_nxt_) return;
+  tlp_probe_outstanding_ = true;  // at most one probe per episode
+  COUNT(tlp_probes_sent);
+  if (can_send_new()) {
+    // Probe with new data: it advances snd.nxt and, if the tail was
+    // lost, its SACK exposes the hole to fast recovery.
+    send_new_segment();
+  } else if (const SegRecord* tail = scoreboard_.last_unsacked()) {
+    send_retransmit(tail->start, tail->end);
+  }
+  // The probe restarts the RTO clock (RFC 8985: re-arm after the probe
+  // so the timeout measures from the last transmission).
+  rto_timer_.start(rto_est_.rto());
+}
+
+void Sender::on_er_timer() {
+  if (aborted_ || state_ != TcpState::kDisorder) return;
+  enter_recovery(0, /*via_er=*/true);
+  try_send();
+}
+
+void Sender::enter_recovery(uint64_t delivered_on_trigger, bool via_er) {
+  state_ = TcpState::kRecovery;
+  note_transmit_state_change();
+  tlp_timer_.stop();
+  COUNT(fast_recovery_events);
+  if (via_er) COUNT(er_triggered);
+  recovery_via_er_ = via_er;
+  recovery_point_ = snd_nxt_;
+  retransmitted_this_event_ = false;
+
+  prior_cwnd_ = cwnd_;
+  prior_ssthresh_ = ssthresh_;
+  undo_valid_ = config_.dsack_undo;
+  undo_retrans_ = 0;
+  spurious_seen_ = false;
+  retx_history_.clear();
+
+  ssthresh_ = cc_->ssthresh_after_loss(cwnd_);
+  scoreboard_.update_loss_marks(dupthresh_, fack_enabled_,
+                                /*in_recovery=*/true);
+  if (scoreboard_.next_retransmit_candidate() == nullptr) {
+    scoreboard_.mark_first_hole_lost();
+  }
+
+  const uint64_t pipe = effective_pipe();
+  const uint64_t flight = snd_nxt_ - snd_una_;
+  policy_->on_enter(flight, ssthresh_, cwnd_, config_.mss);
+
+  current_event_ = stats::RecoveryEvent{};
+  current_event_.start = sim_.now();
+  current_event_.pipe_at_start = pipe;
+  current_event_.ssthresh = ssthresh_;
+  current_event_.cwnd_at_start = cwnd_;
+  current_event_.mss = config_.mss;
+
+  // The triggering ACK also clocks the policy. Without SACK the
+  // trigger dupack is known to have delivered one segment (RFC 6937's
+  // non-SACK heuristic).
+  if (!config_.sack_enabled && delivered_on_trigger == 0) {
+    delivered_on_trigger = config_.mss;
+  }
+  RecoveryAckContext ctx;
+  ctx.delivered_bytes = delivered_on_trigger;
+  ctx.pipe_bytes = pipe;
+  ctx.cwnd_bytes = cwnd_;
+  ctx.mss = config_.mss;
+  cwnd_ = policy_->on_ack(ctx);
+
+  try_send();
+  if (!retransmitted_this_event_) {
+    // RFC 3517's explicit fast_retransmit(): the first retransmission is
+    // sent even when pipe exceeds the reduced window.
+    if (const SegRecord* cand = scoreboard_.next_retransmit_candidate()) {
+      send_retransmit(cand->start, cand->end);
+    }
+  }
+}
+
+void Sender::process_in_recovery(const AckOutcome& out) {
+  scoreboard_.update_loss_marks(dupthresh_, fack_enabled_,
+                                /*in_recovery=*/true);
+  if (snd_una_ >= recovery_point_) {
+    exit_recovery();
+    return;
+  }
+  uint64_t delivered = out.delivered_bytes();
+  if (!config_.sack_enabled) {
+    if (out.una_advanced) {
+      // NewReno partial ACK (RFC 6582): forward progress that stops
+      // short of the recovery point pinpoints the next hole, which is
+      // retransmitted immediately (not subject to the window budget).
+      scoreboard_.mark_first_hole_lost();
+      if (const SegRecord* c = scoreboard_.next_retransmit_candidate()) {
+        send_retransmit(c->start, c->end);
+      }
+    } else if (delivered == 0) {
+      delivered = config_.mss;  // dupack = one segment delivered
+    }
+  }
+  RecoveryAckContext ctx;
+  ctx.delivered_bytes = delivered;
+  ctx.pipe_bytes = effective_pipe();
+  ctx.cwnd_bytes = cwnd_;
+  ctx.mss = config_.mss;
+  cwnd_ = policy_->on_ack(ctx);
+}
+
+void Sender::exit_recovery() {
+  const uint64_t pipe = effective_pipe();
+  current_event_.cwnd_at_exit = cwnd_;
+  current_event_.pipe_at_exit = pipe;
+  cwnd_ = std::max<uint64_t>(policy_->exit_cwnd(pipe, cwnd_), config_.mss);
+  current_event_.cwnd_after_exit = cwnd_;
+  finish_recovery_event(/*completed=*/true, /*timeout=*/false);
+
+  state_ = scoreboard_.any_sacked() ? TcpState::kDisorder : TcpState::kOpen;
+  note_transmit_state_change();
+  dupack_count_ = 0;
+}
+
+void Sender::finish_recovery_event(bool completed, bool timeout) {
+  current_event_.end = sim_.now();
+  current_event_.completed = completed;
+  current_event_.interrupted_by_timeout = timeout;
+  current_event_.slow_start_after = cwnd_ < ssthresh_;
+  if (completed && current_event_.cwnd_after_exit == 0) {
+    current_event_.cwnd_after_exit = cwnd_;
+  }
+  if (recovery_log_) recovery_log_->add(current_event_);
+}
+
+void Sender::handle_dsack(const AckOutcome& out) {
+  if (!out.saw_dsack) return;
+  COUNT(dsacks_received);
+  if (!config_.dsack_undo || !undo_valid_ || !out.dsack_block) return;
+  // A DSACK covering a range we retransmitted means that retransmission
+  // was spurious (the original arrived too).
+  const auto& blk = *out.dsack_block;
+  for (auto it = retx_history_.begin(); it != retx_history_.end(); ++it) {
+    if (it->first >= blk.start && it->second <= blk.end) {
+      retx_history_.erase(it);
+      COUNT(spurious_retransmits);
+      spurious_seen_ = true;
+      if (undo_retrans_ > 0) --undo_retrans_;
+      break;
+    }
+  }
+  if (spurious_seen_ && undo_retrans_ == 0) try_undo();
+}
+
+void Sender::check_eifel(const net::Segment& ack, const AckOutcome& out) {
+  if (!config_.timestamps || !ack.has_ts || !out.acked_rexmit_tx_time) {
+    return;
+  }
+  // Eifel detection (RFC 3522): the ACK acknowledges a segment we
+  // retransmitted, but the echoed timestamp predates the retransmission —
+  // so the *original* arrived and the retransmission was spurious.
+  // Compare at timestamp-clock granularity (whole milliseconds): tsval
+  // is the truncated send time, so the retransmission's own echo is
+  // exactly floor(tx_time).
+  const uint32_t retx_tsval =
+      static_cast<uint32_t>(out.acked_rexmit_tx_time->ms());
+  if (ack.tsecr >= retx_tsval) return;
+  if (state_ == TcpState::kRecovery && undo_valid_) {
+    COUNT(spurious_retransmits);
+    try_undo();
+  } else if (state_ == TcpState::kLoss && frto_check_pending_) {
+    frto_check_pending_ = false;
+    COUNT(spurious_retransmits);
+    undo_loss_state();
+  }
+}
+
+void Sender::undo_loss_state() {
+  // A timeout proved spurious (F-RTO heuristic or Eifel): restore the
+  // congestion state and revert loss marks on data still in flight.
+  cwnd_ = prior_loss_cwnd_;
+  ssthresh_ = prior_loss_ssthresh_;
+  scoreboard_.clear_unretransmitted_loss_marks();
+  COUNT(spurious_rto_undone);
+  COUNT(undo_events);
+  state_ = scoreboard_.any_sacked() ? TcpState::kDisorder
+                                    : TcpState::kOpen;
+  note_transmit_state_change();
+  rto_head_retransmit_pending_ = false;
+}
+
+void Sender::try_undo() {
+  // Every retransmission of the episode proved spurious: revert the
+  // congestion state (Eifel response via DSACK).
+  cwnd_ = std::max(cwnd_, prior_cwnd_);
+  ssthresh_ = prior_ssthresh_;
+  COUNT(undo_events);
+  if (recovery_via_er_) COUNT(er_spurious);
+  undo_valid_ = false;
+  spurious_seen_ = false;
+  if (state_ == TcpState::kRecovery) {
+    current_event_.cwnd_at_exit = cwnd_;
+    current_event_.pipe_at_exit = scoreboard_.pipe();
+    current_event_.cwnd_after_exit = cwnd_;
+    finish_recovery_event(/*completed=*/true, /*timeout=*/false);
+    state_ = TcpState::kOpen;
+    note_transmit_state_change();
+    dupack_count_ = 0;
+  }
+}
+
+void Sender::process_in_loss(const AckOutcome& out) {
+  if (!out.una_advanced) {
+    // A dupack during Loss means the network really is dropping: the
+    // F-RTO spurious hypothesis is rejected (RFC 5682 step 2b).
+    if (out.newly_sacked_bytes > 0) frto_check_pending_ = false;
+    return;
+  }
+  if (frto_check_pending_) {
+    frto_check_pending_ = false;
+    if (snd_una_ > frto_head_end_) {
+      // The ACK covers data beyond the only segment retransmitted since
+      // the timeout: original transmissions are being delivered, so the
+      // RTO was spurious. Revert the congestion state and loss marks.
+      undo_loss_state();
+      return;
+    }
+  }
+  cwnd_ = cc_->on_ack(cwnd_, ssthresh_, out.newly_acked_bytes, sim_.now());
+  if (snd_una_ >= recovery_point_) {
+    state_ = scoreboard_.any_sacked() ? TcpState::kDisorder : TcpState::kOpen;
+    note_transmit_state_change();
+    rto_head_retransmit_pending_ = false;
+  }
+}
+
+void Sender::on_rto() {
+  if (aborted_) return;
+  if (snd_una_ >= snd_nxt_) return;  // nothing outstanding (stale timer)
+
+  COUNT(timeouts_total);
+  switch (state_) {
+    case TcpState::kOpen:
+      COUNT(timeouts_in_open);
+      break;
+    case TcpState::kDisorder:
+      COUNT(timeouts_in_disorder);
+      break;
+    case TcpState::kRecovery:
+      COUNT(timeouts_in_recovery);
+      finish_recovery_event(/*completed=*/false, /*timeout=*/true);
+      break;
+    case TcpState::kLoss:
+      COUNT(timeouts_exp_backoff);
+      break;
+  }
+
+  if (state_ != TcpState::kLoss) {
+    prior_loss_cwnd_ = cwnd_;
+    prior_loss_ssthresh_ = ssthresh_;
+    ssthresh_ = cc_->ssthresh_after_loss(cwnd_);
+    cc_->on_timeout(sim_.now());
+    undo_valid_ = false;
+    recovery_point_ = snd_nxt_;
+    state_ = TcpState::kLoss;
+    note_transmit_state_change();
+  }
+
+  cwnd_ = config_.mss;  // restart the self clock from one segment
+  scoreboard_.on_timeout_mark_all_lost();
+  rto_head_retransmit_pending_ = true;
+  if (config_.frto) {
+    frto_check_pending_ = true;
+    const SegRecord* head = scoreboard_.next_retransmit_candidate();
+    frto_head_end_ = head != nullptr ? head->end : snd_una_ + config_.mss;
+  }
+  dupack_count_ = 0;
+  er_timer_.stop();
+
+  tlp_timer_.stop();
+  rto_est_.backoff();
+  if (rto_est_.backoff_count() > config_.max_rto_backoffs) {
+    abort_connection();
+    return;
+  }
+  try_send();
+  rto_timer_.start(rto_est_.rto());
+}
+
+void Sender::abort_connection() {
+  aborted_ = true;
+  ADD(failed_retransmits, retransmits_since_progress_);
+  COUNT(connections_aborted);
+  rto_timer_.stop();
+  er_timer_.stop();
+  tlp_timer_.stop();
+  pacing_timer_.stop();
+  if (busy_) {
+    busy_ = false;
+    busy_accum_ += sim_.now() - busy_since_;
+  }
+  note_transmit_state_change();  // close loss-time accounting
+  if (on_abort_hook) on_abort_hook();
+}
+
+void Sender::grow_cwnd_open(uint64_t acked_bytes) {
+  if (cwr_active_) return;  // the CWR episode owns the window
+  if (!cwnd_limited_) return;
+  cwnd_ = cc_->on_ack(cwnd_, ssthresh_, acked_bytes, sim_.now());
+}
+
+void Sender::note_transmit_state_change() {
+  const bool now_loss = !aborted_ && (state_ == TcpState::kRecovery ||
+                                      state_ == TcpState::kLoss);
+  if (now_loss && !in_loss_recovery_) {
+    in_loss_recovery_ = true;
+    loss_since_ = sim_.now();
+  } else if (!now_loss && in_loss_recovery_) {
+    in_loss_recovery_ = false;
+    loss_accum_ += sim_.now() - loss_since_;
+  }
+}
+
+sim::Time Sender::network_transmit_time() const {
+  sim::Time t = busy_accum_;
+  if (busy_) t += sim_.now() - busy_since_;
+  return t;
+}
+
+sim::Time Sender::loss_recovery_time() const {
+  sim::Time t = loss_accum_;
+  if (in_loss_recovery_) t += sim_.now() - loss_since_;
+  return t;
+}
+
+#undef COUNT
+#undef ADD
+
+}  // namespace prr::tcp

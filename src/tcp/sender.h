@@ -1,0 +1,291 @@
+// TCP sender implementing the loss-recovery machinery the paper studies:
+// the four Linux recovery states (Open, Disorder, Recovery, Loss), SACK-
+// based loss marking with FACK and dynamic dupthresh, limited transmit
+// (RFC 3042), pluggable congestion control and fast-recovery window
+// regulation (RFC 3517 / Linux rate halving / PRR), RTO with exponential
+// backoff (RFC 6298), DSACK-based undo (Eifel response), lost-retransmit
+// detection, and early retransmit (RFC 5827) with the two mitigations the
+// paper evaluates.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/prr.h"
+#include "net/segment.h"
+#include "sim/simulator.h"
+#include "stats/recovery_log.h"
+#include "tcp/cc/congestion_control.h"
+#include "tcp/metrics.h"
+#include "tcp/recovery/recovery.h"
+#include "tcp/rto.h"
+#include "tcp/scoreboard.h"
+
+namespace prr::tcp {
+
+enum class TcpState { kOpen, kDisorder, kRecovery, kLoss };
+
+const char* to_string(TcpState s);
+
+enum class EarlyRetransmitMode {
+  kOff,
+  kNaive,             // RFC 5827 with no mitigation
+  kReorderMitigation, // disable ER once reordering was detected (M1)
+  kBothMitigations,   // M1 + short delay timer (M2), the paper's choice
+};
+
+struct SenderConfig {
+  uint32_t mss = 1430;
+  uint32_t initial_cwnd_segments = 10;  // Table 4: IW10
+  CcKind cc = CcKind::kCubic;
+  // GAIMD parameters (used only when cc == kGaimd).
+  double gaimd_alpha = 1.0;
+  double gaimd_beta = 0.5;
+  RecoveryKind recovery = RecoveryKind::kPrr;
+  core::ReductionBound prr_bound = core::ReductionBound::kSlowStart;
+
+  // SACK negotiated on this connection (96% of the paper's connections).
+  // Without SACK the sender falls back to NewReno-style recovery: pure
+  // dupack counting, one retransmission per partial ACK, and the RFC 6937
+  // non-SACK heuristic of treating each dupack as one delivered MSS.
+  bool sack_enabled = true;
+  // TCP timestamps (RFC 7323; 12% of the paper's connections). Enables
+  // per-ACK RTT sampling without Karn's restriction and Eifel detection
+  // (RFC 3522): an echoed timestamp older than the retransmission proves
+  // the retransmission spurious, and the window reduction is undone.
+  bool timestamps = false;
+  int dupthresh = 3;
+  bool use_fack = true;
+  bool dynamic_dupthresh = true;   // reordering raises dupthresh
+  int max_dupthresh = 127;
+  bool limited_transmit = true;
+  bool detect_lost_retransmits = true;
+  bool dsack_undo = true;
+  // RFC 2861 / Linux tcp_slow_start_after_idle: halve cwnd per RTO of
+  // idle time (floor: initial window) before transmitting after an idle
+  // period, so persistent connections do not blast a stale window.
+  bool slow_start_after_idle = true;
+  // F-RTO-style spurious-timeout detection: if the first cumulative ACK
+  // after an RTO covers more than the retransmitted head segment, the
+  // extra coverage can only be original data still in flight — the
+  // timeout was spurious and the congestion state is restored.
+  bool frto = true;
+
+  EarlyRetransmitMode early_retransmit = EarlyRetransmitMode::kOff;
+  sim::Time er_delay_min = sim::Time::milliseconds(25);
+  sim::Time er_delay_max = sim::Time::milliseconds(500);
+
+  // Tail loss probe (the paper's §8 future work, later RFC 8985 /
+  // draft-dukkipati-tcpm-tcp-loss-probe): when the tail of a flow is
+  // lost there are no dupacks, so the only standard repair is an RTO.
+  // TLP arms a probe timer at ~2*SRTT; if nothing is ACKed by then the
+  // sender transmits one probe (new data if available, else a
+  // retransmission of the last outstanding segment), whose SACK feedback
+  // converts would-be timeouts into fast recovery. Off by default: the
+  // paper's measured baseline predates TLP.
+  bool tail_loss_probe = false;
+  sim::Time tlp_min_pto = sim::Time::milliseconds(10);
+  sim::Time tlp_delack_bound = sim::Time::milliseconds(50);
+
+  // ECN (RFC 3168): stamp ECT on data; on an ECE echo, reduce the
+  // window to CongCtrlAlg()'s target *without* retransmitting anything,
+  // pacing the reduction with PRR exactly as RFC 6937 prescribes for
+  // non-loss congestion signals. Off by default (the paper's servers
+  // disabled ECN).
+  bool ecn = false;
+
+  // Sender-side pacing (sch_fq style): spread transmissions at
+  // cwnd/srtt * pacing_gain instead of line-rate bursts. Addresses the
+  // paper's observation that bursts (RFC 3517's, or any post-stall
+  // catch-up) are "hard on the network". Off by default.
+  bool pacing = false;
+  double pacing_gain = 1.25;
+
+  RtoEstimator::Config rto;
+  // RTT measured during the SYN exchange (zero = none): real stacks enter
+  // ESTABLISHED with one sample, which keeps the first RTO sane on long
+  // paths.
+  sim::Time handshake_rtt = sim::Time::zero();
+  int max_rto_backoffs = 12;  // abort the connection beyond this
+
+  uint64_t initial_cwnd_bytes() const {
+    return static_cast<uint64_t>(initial_cwnd_segments) * mss;
+  }
+};
+
+class Sender {
+ public:
+  using SendFn = std::function<void(net::Segment)>;
+
+  Sender(sim::Simulator& sim, SenderConfig config, SendFn send,
+         Metrics* metrics, stats::RecoveryLog* recovery_log);
+
+  // ---- application interface ----
+  // Appends `bytes` to the send buffer and transmits what the window
+  // allows. Byte identities are offsets in one infinite stream.
+  void write(uint64_t bytes);
+  // Total bytes the application has queued so far.
+  uint64_t write_end() const { return write_end_; }
+  bool all_acked() const { return snd_una_ >= write_end_; }
+  bool aborted() const { return aborted_; }
+
+  // ---- network interface ----
+  void on_ack_segment(const net::Segment& ack);
+
+  // ---- observers ----
+  // (seq, len, is_retransmit): every segment put on the wire.
+  std::function<void(uint64_t, uint32_t, bool)> on_transmit_hook;
+  // Fired when snd.una advances (new value).
+  std::function<void(uint64_t)> on_una_advance_hook;
+  // Fired for every incoming ACK segment before processing.
+  std::function<void(const net::Segment&)> on_ack_hook;
+  std::function<void()> on_abort_hook;
+
+  // ---- inspection (tests, experiments) ----
+  TcpState state() const { return state_; }
+  uint64_t snd_una() const { return snd_una_; }
+  uint64_t snd_nxt() const { return snd_nxt_; }
+  uint64_t cwnd_bytes() const { return cwnd_; }
+  double cwnd_segments() const {
+    return static_cast<double>(cwnd_) / config_.mss;
+  }
+  uint64_t ssthresh_bytes() const { return ssthresh_; }
+  uint64_t pipe_bytes() const { return effective_pipe(); }
+  int dupthresh() const { return dupthresh_; }
+  bool fack_enabled() const { return fack_enabled_; }
+  bool reordering_seen() const { return reordering_seen_; }
+  const Scoreboard& scoreboard() const { return scoreboard_; }
+  const RtoEstimator& rto_estimator() const { return rto_est_; }
+  const SenderConfig& config() const { return config_; }
+  const RecoveryPolicy* recovery_policy() const { return policy_.get(); }
+  uint64_t retransmits() const { return local_.retransmits_total; }
+  const Metrics& local_metrics() const { return local_; }
+  // Cumulative time spent with unacknowledged data outstanding ("network
+  // transmit time" in Table 10) and the part spent in Recovery/Loss.
+  sim::Time network_transmit_time() const;
+  sim::Time loss_recovery_time() const;
+
+ private:
+  void try_send();
+  bool can_send_new() const;
+  // RFC 3517 pipe in SACK mode; the dupack-discounted flight estimate in
+  // NewReno (non-SACK) mode.
+  uint64_t effective_pipe() const;
+  void send_new_segment();
+  void send_retransmit(uint64_t start, uint64_t end);
+  void transmit(uint64_t start, uint64_t end, bool retx);
+
+  void process_in_open(const AckOutcome& out);
+  void process_in_disorder(const AckOutcome& out);
+  void process_in_recovery(const AckOutcome& out);
+  void process_in_loss(const AckOutcome& out);
+
+  void maybe_enter_recovery(const AckOutcome& out);
+  void enter_recovery(uint64_t delivered_on_trigger, bool via_er);
+  void exit_recovery();
+  void finish_recovery_event(bool completed, bool timeout);
+
+  void check_early_retransmit(const AckOutcome& out);
+  void on_er_timer();
+
+  void maybe_arm_tlp();
+  void on_tlp_timer();
+
+  void maybe_enter_cwr(const net::Segment& ack);
+  void process_cwr(const AckOutcome& out);
+
+  // Pacing gate: true if a segment may go out now; otherwise arms the
+  // pacing timer and the caller must stop sending.
+  bool pacing_allows_send();
+  void note_paced_send();
+
+  void handle_dsack(const AckOutcome& out);
+  void check_eifel(const net::Segment& ack, const AckOutcome& out);
+  void try_undo();
+  void undo_loss_state();
+
+  void on_rto();
+  void arm_rto();
+  void abort_connection();
+
+  void grow_cwnd_open(uint64_t acked_bytes);
+  void note_transmit_state_change();
+
+  sim::Simulator& sim_;
+  SenderConfig config_;
+  SendFn send_;
+  Metrics* metrics_;  // shared, may be null
+  Metrics local_;
+  stats::RecoveryLog* recovery_log_;  // may be null
+
+  std::unique_ptr<CongestionControl> cc_;
+  std::unique_ptr<RecoveryPolicy> policy_;
+  Scoreboard scoreboard_;
+  RtoEstimator rto_est_;
+  sim::Timer rto_timer_;
+  sim::Timer er_timer_;
+  sim::Timer tlp_timer_;
+  sim::Timer pacing_timer_;
+  sim::Time next_pace_at_ = sim::Time::zero();
+
+  TcpState state_ = TcpState::kOpen;
+  uint64_t snd_una_ = 0;
+  uint64_t snd_nxt_ = 0;
+  uint64_t write_end_ = 0;
+  uint64_t cwnd_ = 0;
+  uint64_t ssthresh_ = UINT64_MAX;
+  uint64_t peer_rwnd_ = UINT64_MAX;
+
+  int dupthresh_ = 3;
+  bool fack_enabled_ = true;
+  bool reordering_seen_ = false;
+  int reorder_metric_segs_ = 0;
+
+  int dupack_count_ = 0;
+
+  // Recovery episode state.
+  uint64_t recovery_point_ = 0;
+  bool recovery_via_er_ = false;
+  bool retransmitted_this_event_ = false;
+  uint64_t prior_cwnd_ = 0;
+  uint64_t prior_ssthresh_ = 0;
+  bool undo_valid_ = false;
+  int undo_retrans_ = 0;
+  bool spurious_seen_ = false;
+  std::deque<std::pair<uint64_t, uint64_t>> retx_history_;
+  stats::RecoveryEvent current_event_;
+  uint64_t burst_in_progress_ = 0;
+
+  // Loss (RTO) episode state.
+  bool rto_head_retransmit_pending_ = false;
+  uint64_t retransmits_since_progress_ = 0;
+  bool frto_check_pending_ = false;
+  uint64_t frto_head_end_ = 0;
+  bool tlp_probe_outstanding_ = false;
+
+  // ECN CWR episode (window reduction without losses, PRR-paced).
+  bool cwr_active_ = false;
+  uint64_t cwr_point_ = 0;
+  bool cwr_flag_pending_ = false;
+  core::PrrState cwr_prr_;
+  uint64_t prior_loss_cwnd_ = 0;
+  uint64_t prior_loss_ssthresh_ = 0;
+
+  bool aborted_ = false;
+  bool cwnd_limited_ = true;
+  sim::Time last_transmit_ = sim::Time::zero();
+
+  // Busy-time accounting (Table 10).
+  sim::Time busy_since_ = sim::Time::zero();
+  bool busy_ = false;
+  sim::Time busy_accum_ = sim::Time::zero();
+  sim::Time loss_since_ = sim::Time::zero();
+  bool in_loss_recovery_ = false;
+  sim::Time loss_accum_ = sim::Time::zero();
+};
+
+}  // namespace prr::tcp

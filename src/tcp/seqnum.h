@@ -1,0 +1,48 @@
+// Wrap-aware 32-bit TCP sequence-number arithmetic (RFC 793 comparison
+// rules). The simulator tracks sequences as 64-bit values internally; this
+// type provides the on-the-wire view and is exhaustively tested so the
+// segment model stays honest about wraparound.
+#pragma once
+
+#include <cstdint>
+
+namespace prr::tcp {
+
+class SeqNum {
+ public:
+  constexpr SeqNum() = default;
+  explicit constexpr SeqNum(uint32_t v) : v_(v) {}
+  static constexpr SeqNum from_u64(uint64_t v) {
+    return SeqNum(static_cast<uint32_t>(v));
+  }
+
+  constexpr uint32_t value() const { return v_; }
+
+  // Signed circular distance from `other` to this (RFC 1982 style): the
+  // result is correct when the true distance is < 2^31.
+  constexpr int32_t operator-(SeqNum other) const {
+    return static_cast<int32_t>(v_ - other.v_);
+  }
+  constexpr SeqNum operator+(uint32_t n) const { return SeqNum(v_ + n); }
+  constexpr SeqNum operator-(uint32_t n) const { return SeqNum(v_ - n); }
+  constexpr SeqNum& operator+=(uint32_t n) { v_ += n; return *this; }
+
+  friend constexpr bool operator==(SeqNum a, SeqNum b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(SeqNum a, SeqNum b) { return a.v_ != b.v_; }
+
+  // Circular ordering: a < b iff a precedes b on the sequence circle.
+  friend constexpr bool seq_lt(SeqNum a, SeqNum b) { return (b - a) > 0; }
+  friend constexpr bool seq_leq(SeqNum a, SeqNum b) { return (b - a) >= 0; }
+  friend constexpr bool seq_gt(SeqNum a, SeqNum b) { return (a - b) > 0; }
+  friend constexpr bool seq_geq(SeqNum a, SeqNum b) { return (a - b) >= 0; }
+
+  // True if this lies in the half-open window [lo, lo+len).
+  constexpr bool in_window(SeqNum lo, uint32_t len) const {
+    return static_cast<uint32_t>(v_ - lo.v_) < len;
+  }
+
+ private:
+  uint32_t v_ = 0;
+};
+
+}  // namespace prr::tcp

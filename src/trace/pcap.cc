@@ -1,0 +1,143 @@
+#include "trace/pcap.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "net/path.h"
+#include "tcp/seqnum.h"
+
+namespace prr::trace {
+
+namespace {
+
+// Little-endian writers (pcap classic format is host-endian; we fix LE).
+void le16(std::vector<uint8_t>& b, uint16_t v) {
+  b.push_back(static_cast<uint8_t>(v));
+  b.push_back(static_cast<uint8_t>(v >> 8));
+}
+void le32(std::vector<uint8_t>& b, uint32_t v) {
+  b.push_back(static_cast<uint8_t>(v));
+  b.push_back(static_cast<uint8_t>(v >> 8));
+  b.push_back(static_cast<uint8_t>(v >> 16));
+  b.push_back(static_cast<uint8_t>(v >> 24));
+}
+// Network byte order for the packet contents.
+void be16(std::vector<uint8_t>& b, uint16_t v) {
+  b.push_back(static_cast<uint8_t>(v >> 8));
+  b.push_back(static_cast<uint8_t>(v));
+}
+void be32(std::vector<uint8_t>& b, uint32_t v) {
+  b.push_back(static_cast<uint8_t>(v >> 24));
+  b.push_back(static_cast<uint8_t>(v >> 16));
+  b.push_back(static_cast<uint8_t>(v >> 8));
+  b.push_back(static_cast<uint8_t>(v));
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& os, Config config)
+    : os_(os), config_(config) {
+  std::vector<uint8_t> hdr;
+  le32(hdr, 0xA1B2C3D4);  // magic, microsecond timestamps
+  le16(hdr, 2);           // version major
+  le16(hdr, 4);           // version minor
+  le32(hdr, 0);           // thiszone
+  le32(hdr, 0);           // sigfigs
+  le32(hdr, 65535);       // snaplen
+  le32(hdr, 1);           // LINKTYPE_ETHERNET
+  os_.write(reinterpret_cast<const char*>(hdr.data()),
+            static_cast<std::streamsize>(hdr.size()));
+}
+
+void PcapWriter::record(const net::Segment& seg, sim::Time at,
+                        bool from_sender) {
+  // --- TCP options ---
+  std::vector<uint8_t> opts;
+  if (seg.has_ts) {
+    opts.push_back(1);  // NOP padding for 4-byte alignment
+    opts.push_back(1);
+    opts.push_back(8);   // kind: timestamp
+    opts.push_back(10);  // length
+    be32(opts, seg.tsval);
+    be32(opts, seg.tsecr);
+  }
+  if (!seg.sacks.empty() || seg.dsack.has_value()) {
+    std::vector<net::SackBlock> blocks;
+    if (seg.dsack) blocks.push_back(*seg.dsack);  // DSACK reported first
+    for (const auto& s : seg.sacks) {
+      if (blocks.size() >= 4) break;  // TCP option space limit
+      blocks.push_back(s);
+    }
+    opts.push_back(1);  // NOPs for alignment
+    opts.push_back(1);
+    opts.push_back(5);  // kind: SACK
+    opts.push_back(static_cast<uint8_t>(2 + 8 * blocks.size()));
+    for (const auto& blk : blocks) {
+      be32(opts, tcp::SeqNum::from_u64(blk.start).value());
+      be32(opts, tcp::SeqNum::from_u64(blk.end).value());
+    }
+  }
+  while (opts.size() % 4 != 0) opts.push_back(1);  // pad to 32-bit words
+
+  const uint32_t payload_full = seg.len;
+  const uint32_t payload_stored =
+      std::min(payload_full, config_.snap_payload);
+  const uint32_t tcp_len = 20 + static_cast<uint32_t>(opts.size());
+  const uint32_t ip_len_full = 20 + tcp_len + payload_full;
+
+  std::vector<uint8_t> pkt;
+  // Ethernet: synthetic MACs encode direction.
+  const uint8_t src_mac = from_sender ? 0x01 : 0x02;
+  const uint8_t dst_mac = from_sender ? 0x02 : 0x01;
+  for (int i = 0; i < 5; ++i) pkt.push_back(0x02);
+  pkt.push_back(dst_mac);
+  for (int i = 0; i < 5; ++i) pkt.push_back(0x02);
+  pkt.push_back(src_mac);
+  be16(pkt, 0x0800);  // IPv4
+
+  // IPv4 header (no checksum; analyzers accept zero).
+  pkt.push_back(0x45);  // version 4, IHL 5
+  pkt.push_back(0);
+  be16(pkt, static_cast<uint16_t>(std::min<uint32_t>(ip_len_full, 65535)));
+  be16(pkt, static_cast<uint16_t>(packets_ & 0xFFFF));  // IP id
+  be16(pkt, 0x4000);                                    // DF
+  pkt.push_back(64);  // TTL
+  pkt.push_back(6);   // TCP
+  be16(pkt, 0);       // checksum
+  be32(pkt, from_sender ? config_.sender_ip : config_.receiver_ip);
+  be32(pkt, from_sender ? config_.receiver_ip : config_.sender_ip);
+
+  // TCP header: 32-bit wrap-aware wire sequence numbers.
+  be16(pkt, from_sender ? config_.sender_port : config_.receiver_port);
+  be16(pkt, from_sender ? config_.receiver_port : config_.sender_port);
+  be32(pkt, tcp::SeqNum::from_u64(seg.seq).value());
+  be32(pkt, tcp::SeqNum::from_u64(seg.ack).value());
+  pkt.push_back(static_cast<uint8_t>((tcp_len / 4) << 4));  // data offset
+  pkt.push_back(0x10);  // flags: ACK
+  be16(pkt, static_cast<uint16_t>(
+                std::min<uint64_t>(seg.rwnd / 256, 65535)));  // scaled-ish
+  be16(pkt, 0);  // checksum
+  be16(pkt, 0);  // urgent
+  pkt.insert(pkt.end(), opts.begin(), opts.end());
+  pkt.insert(pkt.end(), payload_stored, 0);  // zeroed payload sample
+
+  // Pcap record header.
+  std::vector<uint8_t> rec;
+  le32(rec, static_cast<uint32_t>(at.us() / 1'000'000));  // ts_sec
+  le32(rec, static_cast<uint32_t>(at.us() % 1'000'000));  // ts_usec
+  le32(rec, static_cast<uint32_t>(pkt.size()));           // incl_len
+  le32(rec, static_cast<uint32_t>(pkt.size() +
+                                  (payload_full - payload_stored)));
+  os_.write(reinterpret_cast<const char*>(rec.data()),
+            static_cast<std::streamsize>(rec.size()));
+  os_.write(reinterpret_cast<const char*>(pkt.data()),
+            static_cast<std::streamsize>(pkt.size()));
+  ++packets_;
+}
+
+void PcapWriter::attach(net::Path& path) {
+  path.wire_tap = [this](const net::Segment& seg, bool is_ack,
+                         sim::Time at) { record(seg, at, !is_ack); };
+}
+
+}  // namespace prr::trace

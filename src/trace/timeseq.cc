@@ -1,0 +1,133 @@
+#include "trace/timeseq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace prr::trace {
+
+void TimeSeqTrace::attach(sim::Simulator& sim, tcp::Connection& conn) {
+  tcp::Sender& snd = conn.sender();
+  snd.on_transmit_hook = [this, &sim](uint64_t seq, uint32_t len,
+                                      bool retx) {
+    record({sim.now(), retx ? EventKind::kRetransmit : EventKind::kSend,
+            seq, seq + len});
+  };
+  snd.on_una_advance_hook = [this, &sim](uint64_t una) {
+    record({sim.now(), EventKind::kUnaAdvance, una, una});
+  };
+  snd.on_ack_hook = [this, &sim](const net::Segment& ack) {
+    for (const auto& blk : ack.sacks) {
+      record({sim.now(), EventKind::kSack, blk.start, blk.end});
+    }
+  };
+}
+
+void TimeSeqTrace::write_csv(std::ostream& os) const {
+  os << "time_ms,kind,seq_lo,seq_hi\n";
+  for (const auto& e : events_) {
+    const char* k = "";
+    switch (e.kind) {
+      case EventKind::kSend: k = "send"; break;
+      case EventKind::kRetransmit: k = "retransmit"; break;
+      case EventKind::kUnaAdvance: k = "una"; break;
+      case EventKind::kSack: k = "sack"; break;
+    }
+    os << e.at.ms_d() << "," << k << "," << e.seq_lo << "," << e.seq_hi
+       << "\n";
+  }
+}
+
+std::string TimeSeqTrace::render_ascii(int width, sim::Time slot) const {
+  if (events_.empty()) return "(empty trace)\n";
+  uint64_t max_seq = 1;
+  sim::Time max_t = sim::Time::zero();
+  for (const auto& e : events_) {
+    max_seq = std::max(max_seq, e.seq_hi);
+    max_t = std::max(max_t, e.at);
+  }
+  const int rows = static_cast<int>(max_t / slot) + 1;
+  const double bytes_per_col = static_cast<double>(max_seq) / width;
+
+  std::vector<std::string> grid(rows, std::string(width, ' '));
+  auto col_of = [&](uint64_t seq) {
+    int c = static_cast<int>(static_cast<double>(seq) / bytes_per_col);
+    return std::clamp(c, 0, width - 1);
+  };
+  auto row_of = [&](sim::Time t) {
+    int r = static_cast<int>(t / slot);
+    return std::clamp(r, 0, rows - 1);
+  };
+  // Paint in priority order: SACK < una < send < retransmit.
+  auto paint = [&](const TraceEvent& e, char ch) {
+    const int r = row_of(e.at);
+    const int lo = col_of(e.seq_lo);
+    const int hi = std::max(lo, e.kind == EventKind::kUnaAdvance
+                                    ? lo
+                                    : col_of(e.seq_hi - 1));
+    for (int c = lo; c <= hi; ++c) grid[r][c] = ch;
+  };
+  for (const auto& e : events_)
+    if (e.kind == EventKind::kSack) paint(e, 's');
+  for (const auto& e : events_)
+    if (e.kind == EventKind::kUnaAdvance) paint(e, '-');
+  for (const auto& e : events_)
+    if (e.kind == EventKind::kSend) paint(e, '#');
+  for (const auto& e : events_)
+    if (e.kind == EventKind::kRetransmit) paint(e, 'R');
+
+  std::ostringstream os;
+  os << "time ->  sequence (cols = " << static_cast<uint64_t>(bytes_per_col)
+     << " bytes each); '#'=send 'R'=retransmit '-'=snd.una 's'=SACK\n";
+  for (int r = 0; r < rows; ++r) {
+    os << (slot * r).ms() << "ms\t|" << grid[r] << "|\n";
+  }
+  return os.str();
+}
+
+std::vector<TraceEvent> TimeSeqTrace::retransmits() const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_)
+    if (e.kind == EventKind::kRetransmit) out.push_back(e);
+  return out;
+}
+
+sim::Time TimeSeqTrace::time_of_last_retransmit() const {
+  sim::Time t = sim::Time::zero();
+  for (const auto& e : events_)
+    if (e.kind == EventKind::kRetransmit) t = std::max(t, e.at);
+  return t;
+}
+
+sim::Time TimeSeqTrace::longest_send_gap(sim::Time from, sim::Time to) const {
+  sim::Time prev = from;
+  sim::Time longest = sim::Time::zero();
+  for (const auto& e : events_) {
+    if (e.kind != EventKind::kSend && e.kind != EventKind::kRetransmit)
+      continue;
+    if (e.at < from || e.at > to) continue;
+    longest = std::max(longest, e.at - prev);
+    prev = e.at;
+  }
+  longest = std::max(longest, to - prev);
+  return longest;
+}
+
+int TimeSeqTrace::max_burst(sim::Time window) const {
+  std::vector<sim::Time> sends;
+  for (const auto& e : events_) {
+    if (e.kind == EventKind::kSend || e.kind == EventKind::kRetransmit)
+      sends.push_back(e.at);
+  }
+  std::sort(sends.begin(), sends.end());
+  int best = 0;
+  for (std::size_t i = 0; i < sends.size(); ++i) {
+    std::size_t j = i;
+    while (j < sends.size() && sends[j] - sends[i] <= window) ++j;
+    best = std::max(best, static_cast<int>(j - i));
+  }
+  return best;
+}
+
+}  // namespace prr::trace

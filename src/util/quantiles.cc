@@ -1,0 +1,97 @@
+#include "util/quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace prr::util {
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0;
+  return sum() / static_cast<double>(values_.size());
+}
+
+double Samples::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double Samples::min() const {
+  if (values_.empty()) return 0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  if (values_.empty()) return 0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0;
+  const double m = mean();
+  double acc = 0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::quantile(double q) const {
+  if (values_.empty()) return 0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double Samples::fraction_below(double threshold) const {
+  if (values_.empty()) return 0;
+  ensure_sorted();
+  auto it = std::lower_bound(values_.begin(), values_.end(), threshold);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+double Samples::fraction_above(double threshold) const {
+  if (values_.empty()) return 0;
+  ensure_sorted();
+  auto it = std::upper_bound(values_.begin(), values_.end(), threshold);
+  return static_cast<double>(values_.end() - it) /
+         static_cast<double>(values_.size());
+}
+
+double Samples::fraction_equal(double value) const {
+  return 1.0 - fraction_below(value) - fraction_above(value);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {}
+
+void Histogram::add(double v) {
+  std::ptrdiff_t idx =
+      static_cast<std::ptrdiff_t>(std::floor((v - lo_) / width_));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::vector<HistogramBucket> Histogram::buckets() const {
+  std::vector<HistogramBucket> out;
+  out.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out.push_back({lo_ + width_ * static_cast<double>(i),
+                   lo_ + width_ * static_cast<double>(i + 1), counts_[i]});
+  }
+  return out;
+}
+
+}  // namespace prr::util

@@ -1,0 +1,59 @@
+// Exact sample-based quantile/percentile computation and a simple fixed-
+// bucket histogram. Experiments collect full samples (millions of doubles
+// fit easily in memory at our scale), so estimates are exact.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace prr::util {
+
+class Samples {
+ public:
+  void add(double v) { values_.push_back(v); sorted_ = false; }
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double mean() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  // q in [0, 1]; nearest-rank with linear interpolation. Empty -> 0.
+  double quantile(double q) const;
+  double percentile(double p) const { return quantile(p / 100.0); }
+  // Fraction of samples satisfying pred-like threshold comparisons.
+  double fraction_below(double threshold) const;
+  double fraction_above(double threshold) const;
+  double fraction_equal(double value) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+struct HistogramBucket {
+  double lo = 0;
+  double hi = 0;
+  std::size_t count = 0;
+};
+
+// Fixed-width bucket histogram over [lo, hi); out-of-range values clamp to
+// the end buckets (matching the paper's RTT-bucket plots).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+  void add(double v);
+  std::vector<HistogramBucket> buckets() const;
+  std::size_t total() const { return total_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace prr::util

@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace prr::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt_pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(width[c])) << cell
+         << " | ";
+    }
+    os << "\n";
+  };
+  auto print_sep = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < width.size(); ++c)
+      os << std::string(width[c] + 2, '-') << "+";
+    os << "-\n";
+  };
+
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace prr::util

@@ -1,0 +1,28 @@
+// Minimal fixed-width ASCII table printer used by every bench binary to
+// emit paper-style tables (header row + aligned columns).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace prr::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with `precision` decimals.
+  static std::string fmt(double v, int precision = 1);
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prr::util

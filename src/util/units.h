@@ -1,0 +1,46 @@
+// Strong data-rate type plus byte-count helpers. Rates are bits/second
+// internally; transmission-time math returns sim::Time.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+#include "sim/time.h"
+
+namespace prr::util {
+
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  static constexpr DataRate bps(int64_t v) { return DataRate(v); }
+  static constexpr DataRate kbps(int64_t v) { return DataRate(v * 1000); }
+  static constexpr DataRate mbps(double v) {
+    return DataRate(static_cast<int64_t>(v * 1e6));
+  }
+  static constexpr DataRate gbps(double v) {
+    return DataRate(static_cast<int64_t>(v * 1e9));
+  }
+
+  constexpr int64_t bits_per_second() const { return bps_; }
+  constexpr double mbps_d() const { return static_cast<double>(bps_) / 1e6; }
+  constexpr bool is_zero() const { return bps_ == 0; }
+
+  // Serialization delay for `bytes` at this rate.
+  constexpr sim::Time transmit_time(int64_t bytes) const {
+    // ns = bits * 1e9 / bps; compute in long double-free integer math:
+    // bits * 1'000'000'000 may overflow for huge values, so split.
+    const int64_t bits = bytes * 8;
+    const int64_t whole = bits / bps_;
+    const int64_t rem = bits % bps_;
+    return sim::Time::nanoseconds(whole * 1'000'000'000 +
+                                  rem * 1'000'000'000 / bps_);
+  }
+
+  friend constexpr auto operator<=>(DataRate a, DataRate b) = default;
+
+ private:
+  explicit constexpr DataRate(int64_t bps) : bps_(bps) {}
+  int64_t bps_ = 0;
+};
+
+}  // namespace prr::util

@@ -1,0 +1,6 @@
+#include "workload/population.h"
+
+// Population is an interface; concrete models live in web_workload.cc and
+// video_workload.cc. This TU anchors the vtable.
+
+namespace prr::workload {}  // namespace prr::workload

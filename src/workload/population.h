@@ -1,0 +1,58 @@
+// Synthetic user populations replacing the paper's live Google traffic.
+// A Population draws, per connection, the network environment (RTT,
+// access bandwidth, burst-loss process, ACK impairments) and the HTTP
+// workload (response sizes, request gaps, client behaviour). Each
+// connection's sample derives from a (run seed, connection id) pair so
+// every experiment arm sees the identical sequence of sample paths —
+// the common-random-numbers analogue of the paper's A/B server binning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "http/server_app.h"
+#include "net/loss_model.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "util/units.h"
+
+namespace prr::workload {
+
+struct ConnectionSample {
+  sim::Time rtt = sim::Time::milliseconds(100);
+  util::DataRate bandwidth = util::DataRate::mbps(1.9);
+  std::size_t queue_packets = 100;
+
+  net::GilbertElliottLoss::Params loss;
+  // Optional time-based outages layered over the segment-level loss.
+  bool outages = false;
+  net::OutageLoss::Params outage;
+  double ack_loss_prob = 0.0;
+  uint32_t ack_stretch = 1;      // >1 emulates LRO/GRO stretch ACKs
+  // How long the offload engine may hold an ACK waiting to coalesce.
+  sim::Time ack_stretch_flush = sim::Time::microseconds(500);
+  double reorder_prob = 0.0;
+  sim::Time reorder_min = sim::Time::milliseconds(1);
+  sim::Time reorder_max = sim::Time::milliseconds(4);
+
+  bool client_sack = true;   // SACK negotiated (96% in Table 1)
+  bool client_ecn = false;   // ECN negotiated (servers disabled it, §5.1)
+  // AQM marking threshold on the bottleneck (0 = plain drop-tail).
+  std::size_t ecn_mark_threshold = 0;
+  bool client_timestamps = false;  // Timestamps negotiated (12%)
+  bool client_dsack = true;
+  bool client_abandons = false;  // user walked away: ACKs stop forever
+  sim::Time abandon_after = sim::Time::zero();
+
+  std::vector<http::ResponseSpec> responses;
+};
+
+class Population {
+ public:
+  virtual ~Population() = default;
+  // Draws connection `id`'s full sample. Must be deterministic in
+  // (seed carried by rng, id).
+  virtual ConnectionSample sample(sim::Rng rng) const = 0;
+};
+
+}  // namespace prr::workload

@@ -1,0 +1,52 @@
+// DC2-style YouTube-India population (paper §5.4): one long progressive-
+// HTTP video transfer per connection (average 2.3 MB), very long RTTs
+// (average 860 ms), access bandwidth with little or no surplus over the
+// video encoding rate, heavier correlated losses, and encoder-rate
+// throttling after an initial unthrottled burst.
+#pragma once
+
+#include "workload/population.h"
+
+namespace prr::workload {
+
+struct VideoWorkloadParams {
+  double mean_rtt_ms = 860;
+  double rtt_sigma = 0.5;
+  double mean_bandwidth_mbps = 0.65;
+  double bandwidth_sigma = 0.5;
+  double mean_transfer_bytes = 2.3e6;
+  double transfer_sigma = 0.6;
+  double encoding_rate_mbps = 0.5;   // chunked write rate after the burst
+  double burst_seconds = 15;         // first seconds sent as fast as possible
+
+  double clean_path_fraction = 0.25;
+  double lossy_p_good_to_bad = 0.014;
+  double mean_burst_len = 4.5;
+  double loss_in_bad = 0.9;
+
+  // A fraction of (mobile-ish) paths suffer periodic total outages long
+  // enough to force RTO backoff chains.
+  double outage_client_fraction = 0.35;
+  double outage_mean_gap_s = 60;
+  double outage_mean_duration_s = 1.2;
+
+  double ack_loss_prob = 0.02;
+  double stretch_client_fraction = 0.1;
+  double reorder_prob = 0.0008;
+  double sack_client_fraction = 0.96;
+  double timestamp_client_fraction = 0.12;
+  double dsack_client_fraction = 0.8;
+  double abandon_fraction = 0.0;  // abandonment tracked via Web workload
+};
+
+class VideoWorkload final : public Population {
+ public:
+  explicit VideoWorkload(VideoWorkloadParams params = {}) : params_(params) {}
+  ConnectionSample sample(sim::Rng rng) const override;
+  const VideoWorkloadParams& params() const { return params_; }
+
+ private:
+  VideoWorkloadParams params_;
+};
+
+}  // namespace prr::workload

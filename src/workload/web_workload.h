@@ -1,0 +1,55 @@
+// DC1-style interactive Web population (paper §2, Table 1): short HTTP
+// responses averaging ~7.5 kB, ~3.1 requests per persistent connection, a
+// heavy share of single-segment responses (analytics beacons), mean user
+// bandwidth ~1.9 Mbps, diverse RTTs, correlated (bursty) losses tuned so
+// a minority of responses see retransmissions, a small rate of abandoned
+// clients, and ACK-path impairments (loss, stretch, light reordering).
+#pragma once
+
+#include "workload/population.h"
+
+namespace prr::workload {
+
+struct WebWorkloadParams {
+  double mean_rtt_ms = 120;
+  double rtt_sigma = 0.9;       // lognormal shape
+  double mean_bandwidth_mbps = 1.9;
+  double bandwidth_sigma = 0.9;
+  double mean_requests_per_conn = 3.1;
+  // Mixture mean works out to ~7.5 kB with the tiny-beacon mass below.
+  double mean_response_bytes = 12100;
+  double response_sigma = 1.6;
+  double tiny_response_fraction = 0.40;  // one-segment beacons
+  uint64_t tiny_response_bytes = 700;
+  double mean_gap_ms = 800;     // between requests on a connection
+
+  // Loss environment: fraction of connections on clean paths, and the
+  // burst-loss intensity for the lossy remainder. Tuned so the aggregate
+  // segment retransmission rate lands near the paper's 2.8% with ~6% of
+  // responses experiencing retransmissions.
+  double clean_path_fraction = 0.38;
+  double lossy_p_good_to_bad = 0.016;   // mean, drawn exponentially
+  double mean_burst_len = 3.0;          // ~3 fast retransmits per event
+  double loss_in_bad = 0.9;
+
+  double ack_loss_prob = 0.01;
+  double stretch_client_fraction = 0.15;  // clients behind LRO (k=2)
+  double reorder_prob = 0.0008;           // light Internet reordering
+  double sack_client_fraction = 0.96;       // Table 1
+  double timestamp_client_fraction = 0.12;  // Table 1 (Windows: off)
+  double dsack_client_fraction = 0.85;
+  double abandon_fraction = 0.02;
+  double abandon_after_ms = 400;
+};
+
+class WebWorkload final : public Population {
+ public:
+  explicit WebWorkload(WebWorkloadParams params = {}) : params_(params) {}
+  ConnectionSample sample(sim::Rng rng) const override;
+  const WebWorkloadParams& params() const { return params_; }
+
+ private:
+  WebWorkloadParams params_;
+};
+
+}  // namespace prr::workload

@@ -1,0 +1,105 @@
+#include "net/ack_mangler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace prr::net {
+namespace {
+
+using namespace prr::sim::literals;
+
+Segment ack(uint64_t a) {
+  Segment s;
+  s.is_ack = true;
+  s.ack = a;
+  return s;
+}
+
+TEST(AckMangler, PassThroughByDefault) {
+  sim::Simulator sim;
+  std::vector<uint64_t> out;
+  AckMangler m(sim, {}, sim::Rng(1),
+               [&](Segment s) { out.push_back(s.ack); });
+  for (uint64_t i = 1; i <= 5; ++i) m.on_ack(ack(i * 1000));
+  sim.run();
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(m.acks_forwarded(), 5u);
+}
+
+TEST(AckMangler, DropsAtConfiguredRate) {
+  sim::Simulator sim;
+  int out = 0;
+  AckMangler::Config cfg;
+  cfg.ack_loss_probability = 0.25;
+  AckMangler m(sim, cfg, sim::Rng(2), [&](Segment) { ++out; });
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) m.on_ack(ack(i));
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(m.acks_dropped()) / n, 0.25, 0.02);
+  EXPECT_EQ(out + static_cast<int>(m.acks_dropped()), n);
+}
+
+TEST(AckMangler, StretchForwardsEveryKth) {
+  sim::Simulator sim;
+  std::vector<uint64_t> out;
+  AckMangler::Config cfg;
+  cfg.stretch_factor = 3;
+  AckMangler m(sim, cfg, sim::Rng(2),
+               [&](Segment s) { out.push_back(s.ack); });
+  for (uint64_t i = 1; i <= 9; ++i) m.on_ack(ack(i * 1000));
+  sim.run();
+  // Every third ack survives, carrying the newest cumulative value.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 3000u);
+  EXPECT_EQ(out[1], 6000u);
+  EXPECT_EQ(out[2], 9000u);
+}
+
+TEST(AckMangler, StretchFlushTimeoutDeliversTail) {
+  sim::Simulator sim;
+  std::vector<uint64_t> out;
+  AckMangler::Config cfg;
+  cfg.stretch_factor = 4;
+  cfg.stretch_flush_timeout = 500_us;
+  AckMangler m(sim, cfg, sim::Rng(2),
+               [&](Segment s) { out.push_back(s.ack); });
+  m.on_ack(ack(1000));
+  m.on_ack(ack(2000));  // only 2 of 4: held
+  sim.run();            // flush timer fires
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 2000u);  // the newest held ack, not the first
+}
+
+TEST(AckMangler, StretchPreservesDsack) {
+  sim::Simulator sim;
+  std::vector<Segment> out;
+  AckMangler::Config cfg;
+  cfg.stretch_factor = 2;
+  AckMangler m(sim, cfg, sim::Rng(2),
+               [&](Segment s) { out.push_back(s); });
+  Segment with_dsack = ack(1000);
+  with_dsack.dsack = SackBlock{0, 500};
+  m.on_ack(with_dsack);
+  m.on_ack(ack(2000));  // coalesces over the DSACK ack
+  sim.run();
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_TRUE(out[0].dsack.has_value());
+  EXPECT_EQ(out[0].dsack->start, 0u);
+  EXPECT_EQ(out[0].ack, 2000u);
+}
+
+TEST(AckMangler, CoalescedCountTracksSuppressed) {
+  sim::Simulator sim;
+  AckMangler::Config cfg;
+  cfg.stretch_factor = 2;
+  AckMangler m(sim, cfg, sim::Rng(2), [&](Segment) {});
+  for (uint64_t i = 1; i <= 6; ++i) m.on_ack(ack(i));
+  sim.run();
+  EXPECT_EQ(m.acks_seen(), 6u);
+  EXPECT_EQ(m.acks_forwarded(), 3u);
+  EXPECT_EQ(m.acks_coalesced(), 3u);
+}
+
+}  // namespace
+}  // namespace prr::net

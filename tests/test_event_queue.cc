@@ -1,0 +1,94 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace prr::sim {
+namespace {
+
+using namespace prr::sim::literals;
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30_ms, [&] { order.push_back(3); });
+  q.schedule(10_ms, [&] { order.push_back(1); });
+  q.schedule(20_ms, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5_ms, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.schedule(1_ms, [&] { fired = true; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelOneOfMany) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1_ms, [&] { order.push_back(1); });
+  EventId id = q.schedule(2_ms, [&] { order.push_back(2); });
+  q.schedule(3_ms, [&] { order.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelInvalidIsNoop) {
+  EventQueue q;
+  q.cancel(kInvalidEventId);
+  q.cancel(9999);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeReflectsEarliest) {
+  EventQueue q;
+  EXPECT_TRUE(q.next_time().is_infinite());
+  q.schedule(7_ms, [] {});
+  q.schedule(3_ms, [] {});
+  EXPECT_EQ(q.next_time().ms(), 3);
+}
+
+TEST(EventQueue, RunNextReturnsEventTime) {
+  EventQueue q;
+  q.schedule(42_ms, [] {});
+  EXPECT_EQ(q.run_next().ms(), 42);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule(Time::milliseconds(count), chain);
+  };
+  q.schedule(0_ms, chain);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueue, SizeExcludesCancelled) {
+  EventQueue q;
+  q.schedule(1_ms, [] {});
+  EventId id = q.schedule(2_ms, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace prr::sim

@@ -1,0 +1,114 @@
+// Experiment harness: reproducibility, common-random-numbers pairing
+// across arms, and aggregate consistency.
+#include <gtest/gtest.h>
+
+#include "exp/experiment.h"
+#include "workload/web_workload.h"
+
+namespace prr::exp {
+namespace {
+
+RunOptions small_run(int connections = 300, uint64_t seed = 77) {
+  RunOptions o;
+  o.connections = connections;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Experiment, SameSeedReproducesExactly) {
+  workload::WebWorkload pop;
+  ArmResult a = run_arm(pop, ArmConfig::prr_arm(), small_run());
+  ArmResult b = run_arm(pop, ArmConfig::prr_arm(), small_run());
+  EXPECT_EQ(a.metrics.data_segments_sent, b.metrics.data_segments_sent);
+  EXPECT_EQ(a.metrics.retransmits_total, b.metrics.retransmits_total);
+  EXPECT_EQ(a.metrics.timeouts_total, b.metrics.timeouts_total);
+  EXPECT_EQ(a.recovery_log.count(), b.recovery_log.count());
+  EXPECT_EQ(a.latency.responses().size(), b.latency.responses().size());
+}
+
+TEST(Experiment, DifferentSeedsDiffer) {
+  workload::WebWorkload pop;
+  ArmResult a = run_arm(pop, ArmConfig::prr_arm(), small_run(300, 1));
+  ArmResult b = run_arm(pop, ArmConfig::prr_arm(), small_run(300, 2));
+  EXPECT_NE(a.metrics.data_segments_sent, b.metrics.data_segments_sent);
+}
+
+TEST(Experiment, ArmsShareSamplePaths) {
+  // Common random numbers: the drawn workload totals (bytes, responses)
+  // must match exactly across arms. Abandoned clients are excluded —
+  // they truncate the response list at an arm-dependent point.
+  workload::WebWorkloadParams params;
+  params.abandon_fraction = 0;
+  workload::WebWorkload pop(params);
+  auto results = run_arms(
+      pop, {ArmConfig::linux_arm(), ArmConfig::prr_arm()}, small_run());
+  ASSERT_EQ(results.size(), 2u);
+  // The drawn workload is bit-identical across arms.
+  EXPECT_EQ(results[0].total_workload_bytes,
+            results[1].total_workload_bytes);
+  EXPECT_GT(results[0].total_workload_bytes, 0u);
+  // Completion counts may differ by the occasional straggler that hits
+  // the per-connection time limit in one arm only.
+  const auto n0 = results[0].latency.responses().size();
+  const auto n1 = results[1].latency.responses().size();
+  EXPECT_LE(n0 > n1 ? n0 - n1 : n1 - n0, 3u);
+}
+
+TEST(Experiment, CleanConnectionsIdenticalAcrossArms) {
+  // With losses disabled entirely, recovery algorithms are never invoked
+  // and every per-response latency must be bit-identical across arms.
+  workload::WebWorkloadParams p;
+  p.clean_path_fraction = 1.0;
+  p.ack_loss_prob = 0;
+  p.reorder_prob = 0;
+  p.abandon_fraction = 0;
+  workload::WebWorkload pop(p);
+  auto results = run_arms(
+      pop, {ArmConfig::linux_arm(), ArmConfig::rfc3517_arm(),
+            ArmConfig::prr_arm()},
+      small_run(200));
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[0].latency.responses().size(),
+              results[i].latency.responses().size());
+    for (std::size_t j = 0; j < results[0].latency.responses().size();
+         ++j) {
+      EXPECT_DOUBLE_EQ(results[0].latency.responses()[j].latency_ms(),
+                       results[i].latency.responses()[j].latency_ms())
+          << "arm " << i << " response " << j;
+    }
+    EXPECT_EQ(results[i].metrics.retransmits_total, 0u);
+  }
+}
+
+TEST(Experiment, MetricsAggregateAcrossConnections) {
+  workload::WebWorkload pop;
+  ArmResult r = run_arm(pop, ArmConfig::prr_arm(), small_run(100));
+  EXPECT_EQ(r.connections_run, 100u);
+  EXPECT_EQ(r.metrics.connections, 100u);
+  EXPECT_GT(r.metrics.data_segments_sent, 100u);
+  EXPECT_GT(r.total_network_transmit_time, sim::Time::zero());
+  EXPECT_LE(r.total_loss_recovery_time, r.total_network_transmit_time);
+}
+
+TEST(Experiment, ArmConfigFactories) {
+  EXPECT_EQ(ArmConfig::prr_arm().recovery, tcp::RecoveryKind::kPrr);
+  EXPECT_EQ(ArmConfig::linux_arm().recovery,
+            tcp::RecoveryKind::kLinuxRateHalving);
+  EXPECT_EQ(ArmConfig::rfc3517_arm().recovery,
+            tcp::RecoveryKind::kRfc3517);
+  EXPECT_EQ(ArmConfig::prr_arm().cc, tcp::CcKind::kCubic);  // paper §5
+}
+
+TEST(Experiment, FractionHelpersBounded) {
+  workload::WebWorkload pop;
+  ArmResult r = run_arm(pop, ArmConfig::prr_arm(), small_run(200));
+  EXPECT_GE(r.retransmission_rate(), 0.0);
+  EXPECT_LE(r.retransmission_rate(), 1.0);
+  EXPECT_GE(r.fraction_time_in_loss_recovery(), 0.0);
+  EXPECT_LE(r.fraction_time_in_loss_recovery(), 1.0);
+  EXPECT_GE(r.fraction_bytes_in_fast_recovery(), 0.0);
+  EXPECT_LE(r.fraction_bytes_in_fast_recovery(), 1.0);
+}
+
+}  // namespace
+}  // namespace prr::exp

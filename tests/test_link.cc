@@ -1,0 +1,135 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/path.h"
+
+namespace prr::net {
+namespace {
+
+using namespace prr::sim::literals;
+
+Segment data_seg(uint64_t seq, uint32_t len) {
+  Segment s;
+  s.seq = seq;
+  s.len = len;
+  return s;
+}
+
+TEST(Link, DeliveryIsSerializationPlusPropagation) {
+  sim::Simulator sim;
+  std::vector<sim::Time> arrivals;
+  Link::Config cfg;
+  cfg.rate = util::DataRate::mbps(1.2);
+  cfg.propagation_delay = 50_ms;
+  Link link(sim, cfg, [&](Segment) { arrivals.push_back(sim.now()); });
+
+  // 1040 wire bytes at 1.2 Mbps = 6.933 ms serialization.
+  link.send(data_seg(0, 1000));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_NEAR(arrivals[0].ms_d(), 6.933 + 50.0, 0.01);
+}
+
+TEST(Link, BackToBackSegmentsQueueBehindEachOther) {
+  sim::Simulator sim;
+  std::vector<sim::Time> arrivals;
+  Link::Config cfg;
+  cfg.rate = util::DataRate::mbps(1.2);
+  cfg.propagation_delay = 50_ms;
+  Link link(sim, cfg, [&](Segment) { arrivals.push_back(sim.now()); });
+
+  for (int i = 0; i < 5; ++i) link.send(data_seg(i * 1000, 1000));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(arrivals[i].ms_d(), 6.933 * (i + 1) + 50.0, 0.05) << i;
+  }
+}
+
+TEST(Link, QueueOverflowDropsTail) {
+  sim::Simulator sim;
+  int delivered = 0;
+  Link::Config cfg;
+  cfg.rate = util::DataRate::mbps(1.2);
+  cfg.propagation_delay = 1_ms;
+  cfg.queue_limit_packets = 3;
+  Link link(sim, cfg, [&](Segment) { ++delivered; });
+
+  for (int i = 0; i < 10; ++i) link.send(data_seg(i * 1000, 1000));
+  sim.run();
+  // 1 in service + 3 queued survive.
+  EXPECT_EQ(delivered, 4);
+  EXPECT_EQ(link.stats().dropped_queue, 6u);
+}
+
+TEST(Link, LossModelDropsAreCounted) {
+  sim::Simulator sim;
+  int delivered = 0;
+  Link::Config cfg;
+  Link link(sim, cfg, [&](Segment) { ++delivered; });
+  link.set_loss_model(std::make_unique<DeterministicLoss>(
+      std::set<uint64_t>{2, 3}));
+  for (int i = 0; i < 5; ++i) link.send(data_seg(i * 1000, 1000));
+  sim.run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(link.stats().dropped_loss_model, 2u);
+}
+
+TEST(Link, AckWireSizeIncludesSackOptions) {
+  Segment ack;
+  ack.is_ack = true;
+  EXPECT_EQ(ack.wire_size(), 40u);
+  ack.sacks.push_back({0, 1000});
+  ack.sacks.push_back({2000, 3000});
+  EXPECT_EQ(ack.wire_size(), 40u + 2 + 16);
+  ack.dsack = SackBlock{0, 500};
+  EXPECT_EQ(ack.wire_size(), 40u + 2 + 24);
+}
+
+TEST(Path, SymmetricConfigSplitsRtt) {
+  auto cfg = Path::Config::symmetric(util::DataRate::mbps(10), 100_ms, 50);
+  EXPECT_EQ(cfg.data_link.propagation_delay.ms(), 50);
+  EXPECT_EQ(cfg.ack_link.propagation_delay.ms(), 50);
+  EXPECT_EQ(cfg.data_link.queue_limit_packets, 50u);
+}
+
+TEST(Path, RoundTripThroughBothLinks) {
+  sim::Simulator sim;
+  auto cfg = Path::Config::symmetric(util::DataRate::mbps(1.2), 100_ms, 50);
+  Path path(sim, cfg, sim::Rng(7));
+  sim::Time data_arrival, ack_arrival;
+  path.set_data_sink([&](Segment) {
+    data_arrival = sim.now();
+    Segment ack;
+    ack.is_ack = true;
+    ack.ack = 1000;
+    path.send_ack(ack);
+  });
+  path.set_ack_sink([&](Segment) { ack_arrival = sim.now(); });
+  path.send_data(data_seg(0, 1000));
+  sim.run();
+  EXPECT_NEAR(data_arrival.ms_d(), 56.9, 0.2);
+  // ACK: ~0 serialization at 100 Mbps + 50 ms back.
+  EXPECT_NEAR(ack_arrival.ms_d(), 106.9, 0.3);
+}
+
+TEST(Path, KillClientSilencesAcks) {
+  sim::Simulator sim;
+  auto cfg = Path::Config::symmetric(util::DataRate::mbps(10), 10_ms, 50);
+  Path path(sim, cfg, sim::Rng(7));
+  int acks = 0;
+  path.set_data_sink([&](Segment) {});
+  path.set_ack_sink([&](Segment) { ++acks; });
+  path.kill_client();
+  Segment ack;
+  ack.is_ack = true;
+  path.send_ack(ack);
+  sim.run();
+  EXPECT_EQ(acks, 0);
+}
+
+}  // namespace
+}  // namespace prr::net

@@ -1,0 +1,168 @@
+#include "net/loss_model.h"
+
+#include <gtest/gtest.h>
+
+#include "net/reorder_model.h"
+
+namespace prr::net {
+namespace {
+
+Segment seg(bool retx = false) {
+  Segment s;
+  s.len = 1000;
+  s.is_retransmit = retx;
+  return s;
+}
+
+TEST(NoLoss, NeverDrops) {
+  NoLoss m;
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(m.should_drop(seg()));
+}
+
+TEST(BernoulliLoss, ApproximatesRate) {
+  BernoulliLoss m(0.1, sim::Rng(3));
+  int drops = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) drops += m.should_drop(seg());
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.1, 0.01);
+}
+
+TEST(BernoulliLoss, ZeroAndOne) {
+  BernoulliLoss never(0.0, sim::Rng(3));
+  BernoulliLoss always(1.0, sim::Rng(3));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(never.should_drop(seg()));
+    EXPECT_TRUE(always.should_drop(seg()));
+  }
+}
+
+TEST(GilbertElliott, CleanWhenNeverEnteringBad) {
+  GilbertElliottLoss::Params p;
+  p.p_good_to_bad = 0.0;
+  GilbertElliottLoss m(p, sim::Rng(3));
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(m.should_drop(seg()));
+}
+
+TEST(GilbertElliott, LossRateMatchesStationaryDistribution) {
+  GilbertElliottLoss::Params p;
+  p.p_good_to_bad = 0.01;
+  p.p_bad_to_good = 0.33;
+  p.loss_in_bad = 0.9;
+  GilbertElliottLoss m(p, sim::Rng(5));
+  int drops = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) drops += m.should_drop(seg());
+  // Stationary P(bad) = pgb/(pgb+pbg) = 0.01/0.34 = 0.0294; rate ~2.65%.
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.0265, 0.005);
+}
+
+TEST(GilbertElliott, DropsComeInBursts) {
+  GilbertElliottLoss::Params p;
+  p.p_good_to_bad = 0.01;
+  p.p_bad_to_good = 0.33;
+  p.loss_in_bad = 1.0;
+  GilbertElliottLoss m(p, sim::Rng(5));
+  // Count runs of consecutive drops; mean run should be ~3.
+  int runs = 0, dropped = 0;
+  bool prev = false;
+  for (int i = 0; i < 200000; ++i) {
+    const bool d = m.should_drop(seg());
+    dropped += d;
+    if (d && !prev) ++runs;
+    prev = d;
+  }
+  ASSERT_GT(runs, 0);
+  const double mean_burst = static_cast<double>(dropped) / runs;
+  EXPECT_GT(mean_burst, 2.0);
+  EXPECT_LT(mean_burst, 4.5);
+}
+
+TEST(DeterministicLoss, DropsListedOriginals) {
+  DeterministicLoss m({1, 3}, {});
+  EXPECT_TRUE(m.should_drop(seg()));    // original #1
+  EXPECT_FALSE(m.should_drop(seg()));   // #2
+  EXPECT_TRUE(m.should_drop(seg()));    // #3
+  EXPECT_FALSE(m.should_drop(seg()));   // #4
+  EXPECT_EQ(m.originals_seen(), 4u);
+}
+
+TEST(DeterministicLoss, RetransmitsCountedSeparately) {
+  DeterministicLoss m({1}, {2});
+  EXPECT_TRUE(m.should_drop(seg()));          // original #1 dropped
+  EXPECT_FALSE(m.should_drop(seg(true)));     // retransmit #1 passes
+  EXPECT_TRUE(m.should_drop(seg(true)));      // retransmit #2 dropped
+  EXPECT_FALSE(m.should_drop(seg()));         // original #2 passes
+}
+
+TEST(CompositeLoss, DropsIfAnyChildDrops) {
+  CompositeLoss c;
+  c.add(std::make_unique<DeterministicLoss>(std::set<uint64_t>{2}));
+  c.add(std::make_unique<DeterministicLoss>(std::set<uint64_t>{3}));
+  EXPECT_FALSE(c.should_drop(seg()));  // #1
+  EXPECT_TRUE(c.should_drop(seg()));   // #2 (first child)
+  EXPECT_TRUE(c.should_drop(seg()));   // #3 (second child)
+  EXPECT_FALSE(c.should_drop(seg()));  // #4
+}
+
+TEST(OutageLoss, DropsEverythingDuringOutageWindows) {
+  sim::Simulator sim;
+  OutageLoss::Params p;
+  p.mean_time_between = sim::Time::seconds(10);
+  p.mean_duration = sim::Time::seconds(1);
+  OutageLoss m(sim, p, sim::Rng(3));
+  int dropped = 0, passed = 0;
+  int drop_runs = 0;
+  bool prev_drop = false;
+  // Probe the model every 100 ms of simulated time for 10 minutes.
+  for (int i = 0; i < 6000; ++i) {
+    sim.schedule_in(sim::Time::milliseconds(100), [] {});
+    sim.run(sim.now() + sim::Time::milliseconds(100));
+    const bool d = m.should_drop(seg());
+    dropped += d;
+    passed += !d;
+    if (d && !prev_drop) ++drop_runs;
+    prev_drop = d;
+  }
+  EXPECT_GT(dropped, 0);
+  EXPECT_GT(passed, dropped);  // outages are the exception
+  // Outage fraction ~ duration/(gap+duration) = 1/11 ~ 9%.
+  const double frac = static_cast<double>(dropped) / 6000.0;
+  EXPECT_GT(frac, 0.02);
+  EXPECT_LT(frac, 0.25);
+  // Drops are clustered into distinct outage windows, not scattered.
+  EXPECT_GT(drop_runs, 5);
+  EXPECT_LT(drop_runs, dropped / 2 + 1);
+}
+
+TEST(OutageLoss, ConsecutiveSegmentsInOutageAllDrop) {
+  sim::Simulator sim;
+  OutageLoss::Params p;
+  p.mean_time_between = sim::Time::milliseconds(1);  // outage ~immediately
+  p.mean_duration = sim::Time::seconds(3600);        // effectively forever
+  OutageLoss m(sim, p, sim::Rng(5));
+  sim.schedule_in(sim::Time::seconds(1), [] {});
+  sim.run(sim.now() + sim::Time::seconds(1));
+  int dropped = 0;
+  for (int i = 0; i < 50; ++i) dropped += m.should_drop(seg());
+  EXPECT_GE(dropped, 49);  // once dark, everything drops
+}
+
+TEST(RandomReorder, ZeroProbabilityNeverDelays) {
+  RandomReorder r(0.0, sim::Time::milliseconds(1), sim::Time::milliseconds(5),
+                  sim::Rng(3));
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(r.extra_delay(seg()).is_zero());
+}
+
+TEST(RandomReorder, DelaysWithinBounds) {
+  RandomReorder r(1.0, sim::Time::milliseconds(1), sim::Time::milliseconds(5),
+                  sim::Rng(3));
+  for (int i = 0; i < 500; ++i) {
+    const auto d = r.extra_delay(seg());
+    EXPECT_GE(d, sim::Time::milliseconds(1));
+    EXPECT_LE(d, sim::Time::milliseconds(5));
+  }
+}
+
+}  // namespace
+}  // namespace prr::net

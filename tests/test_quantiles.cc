@@ -1,0 +1,105 @@
+#include "util/quantiles.h"
+
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace prr::util {
+namespace {
+
+TEST(Samples, EmptyIsZero) {
+  Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0);
+  EXPECT_DOUBLE_EQ(s.min(), 0);
+  EXPECT_DOUBLE_EQ(s.max(), 0);
+}
+
+TEST(Samples, BasicStats) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(Samples, MedianInterpolates) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 2.5);
+}
+
+TEST(Samples, QuantileEndpoints) {
+  Samples s;
+  for (double v : {10.0, 20.0, 30.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 20.0);
+}
+
+TEST(Samples, QuantileUnsortedInput) {
+  Samples s;
+  for (double v : {5.0, 1.0, 4.0, 2.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+  s.add(0.0);  // adding after a query must re-sort
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+}
+
+TEST(Samples, Fractions) {
+  Samples s;
+  for (double v : {1.0, 2.0, 2.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.fraction_below(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.fraction_above(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.fraction_equal(2.0), 0.5);
+}
+
+TEST(Samples, Stddev) {
+  Samples s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0, 1000, 5);
+  h.add(100);   // bucket 0
+  h.add(250);   // bucket 1
+  h.add(999);   // bucket 4
+  h.add(-50);   // clamps to 0
+  h.add(5000);  // clamps to 4
+  auto b = h.buckets();
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[0].count, 2u);
+  EXPECT_EQ(b[1].count, 1u);
+  EXPECT_EQ(b[4].count, 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(b[1].lo, 200);
+  EXPECT_DOUBLE_EQ(b[1].hi, 400);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 0), "3");
+  EXPECT_EQ(Table::fmt_pct(0.125, 1), "12.5%");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prr::util

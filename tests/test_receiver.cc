@@ -1,0 +1,193 @@
+#include "tcp/receiver.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace prr::tcp {
+namespace {
+
+using namespace prr::sim::literals;
+
+net::Segment data(uint64_t seq, uint32_t len = 1000) {
+  net::Segment s;
+  s.seq = seq;
+  s.len = len;
+  return s;
+}
+
+class ReceiverTest : public ::testing::Test {
+ protected:
+  ReceiverTest() { make(Receiver::Config{}); }
+
+  void make(Receiver::Config cfg) {
+    acks.clear();
+    rx = std::make_unique<Receiver>(
+        sim, cfg, [this](net::Segment a) { acks.push_back(a); });
+  }
+
+  sim::Simulator sim;
+  std::vector<net::Segment> acks;
+  std::unique_ptr<Receiver> rx;
+};
+
+TEST_F(ReceiverTest, InOrderDataAdvancesRcvNxt) {
+  rx->on_data(data(0));
+  EXPECT_EQ(rx->rcv_nxt(), 1000u);
+  rx->on_data(data(1000));
+  EXPECT_EQ(rx->rcv_nxt(), 2000u);
+}
+
+TEST_F(ReceiverTest, DelayedAckEverySecondSegment) {
+  rx->on_data(data(0));
+  EXPECT_TRUE(acks.empty());  // held for the delack window
+  rx->on_data(data(1000));
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].ack, 2000u);
+}
+
+TEST_F(ReceiverTest, DelackTimerFlushesSingleSegment) {
+  rx->on_data(data(0));
+  EXPECT_TRUE(acks.empty());
+  sim.run();  // 40 ms delack timer fires
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].ack, 1000u);
+  EXPECT_EQ(sim.now().ms(), 40);
+}
+
+TEST_F(ReceiverTest, OutOfOrderDataAcksImmediatelyWithSack) {
+  rx->on_data(data(2000));  // hole at 0-2000
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].ack, 0u);
+  ASSERT_EQ(acks[0].sacks.size(), 1u);
+  EXPECT_EQ(acks[0].sacks[0].start, 2000u);
+  EXPECT_EQ(acks[0].sacks[0].end, 3000u);
+}
+
+TEST_F(ReceiverTest, HoleFillPullsOooQueue) {
+  rx->on_data(data(1000));
+  rx->on_data(data(2000));
+  acks.clear();
+  rx->on_data(data(0));  // fills the hole
+  EXPECT_EQ(rx->rcv_nxt(), 3000u);
+  // Still ACKs immediately while the reorder queue drains.
+  ASSERT_GE(acks.size(), 1u);
+  EXPECT_EQ(acks.back().ack, 3000u);
+  EXPECT_TRUE(acks.back().sacks.empty());
+}
+
+TEST_F(ReceiverTest, SackBlocksMostRecentFirst) {
+  rx->on_data(data(2000));
+  rx->on_data(data(6000));
+  rx->on_data(data(4000));
+  const auto& last = acks.back();
+  ASSERT_EQ(last.sacks.size(), 3u);
+  EXPECT_EQ(last.sacks[0].start, 4000u);  // most recently updated first
+  EXPECT_EQ(last.sacks[1].start, 6000u);
+  EXPECT_EQ(last.sacks[2].start, 2000u);
+}
+
+TEST_F(ReceiverTest, AdjacentOooBlocksMerge) {
+  rx->on_data(data(2000));
+  rx->on_data(data(3000));
+  const auto& last = acks.back();
+  ASSERT_EQ(last.sacks.size(), 1u);
+  EXPECT_EQ(last.sacks[0].start, 2000u);
+  EXPECT_EQ(last.sacks[0].end, 4000u);
+}
+
+TEST_F(ReceiverTest, MaxThreeSackBlocks) {
+  rx->on_data(data(2000));
+  rx->on_data(data(4000));
+  rx->on_data(data(6000));
+  rx->on_data(data(8000));
+  EXPECT_EQ(acks.back().sacks.size(), 3u);
+}
+
+TEST_F(ReceiverTest, DuplicateSegmentTriggersDsack) {
+  rx->on_data(data(0));
+  rx->on_data(data(1000));
+  acks.clear();
+  rx->on_data(data(0));  // duplicate of delivered data
+  ASSERT_EQ(acks.size(), 1u);
+  ASSERT_TRUE(acks[0].dsack.has_value());
+  EXPECT_EQ(acks[0].dsack->start, 0u);
+  EXPECT_EQ(acks[0].dsack->end, 1000u);
+  EXPECT_EQ(rx->duplicate_segments(), 1u);
+}
+
+TEST_F(ReceiverTest, DuplicateOfOooSegmentTriggersDsack) {
+  rx->on_data(data(2000));
+  acks.clear();
+  rx->on_data(data(2000));
+  ASSERT_EQ(acks.size(), 1u);
+  ASSERT_TRUE(acks[0].dsack.has_value());
+  EXPECT_EQ(acks[0].dsack->start, 2000u);
+}
+
+TEST_F(ReceiverTest, DsackDisabledClients) {
+  Receiver::Config cfg;
+  cfg.dsack_enabled = false;
+  make(cfg);
+  rx->on_data(data(0));
+  rx->on_data(data(1000));
+  acks.clear();
+  rx->on_data(data(0));
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_FALSE(acks[0].dsack.has_value());
+}
+
+TEST_F(ReceiverTest, SackDisabledProducesPlainDupacks) {
+  Receiver::Config cfg;
+  cfg.sack_enabled = false;
+  make(cfg);
+  rx->on_data(data(2000));
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_TRUE(acks[0].sacks.empty());
+  EXPECT_EQ(acks[0].ack, 0u);
+}
+
+TEST_F(ReceiverTest, RwndAdvertised) {
+  Receiver::Config cfg;
+  cfg.rwnd = 123456;
+  make(cfg);
+  rx->on_data(data(0));
+  rx->on_data(data(1000));
+  EXPECT_EQ(acks.back().rwnd, 123456u);
+}
+
+TEST_F(ReceiverTest, AckEveryOneDisablesDelack) {
+  Receiver::Config cfg;
+  cfg.ack_every = 1;
+  make(cfg);
+  rx->on_data(data(0));
+  EXPECT_EQ(acks.size(), 1u);
+}
+
+TEST_F(ReceiverTest, OverlappingOooSegmentNotDuplicate) {
+  rx->on_data(data(2000, 1000));
+  acks.clear();
+  // Partially-new data spanning the existing block is not a duplicate.
+  rx->on_data(data(2000, 2000));
+  EXPECT_EQ(rx->duplicate_segments(), 0u);
+  ASSERT_EQ(acks.back().sacks.size(), 1u);
+  EXPECT_EQ(acks.back().sacks[0].end, 4000u);
+}
+
+TEST_F(ReceiverTest, QuickackAcksFirstSegmentsImmediately) {
+  Receiver::Config cfg;
+  cfg.quickack_segments = 2;
+  make(cfg);
+  rx->on_data(data(0));
+  EXPECT_EQ(acks.size(), 1u);  // quickack: no delack holding
+  rx->on_data(data(1000));
+  EXPECT_EQ(acks.size(), 2u);
+  // Quickack budget spent: back to delayed ACKs.
+  rx->on_data(data(2000));
+  EXPECT_EQ(acks.size(), 2u);
+  rx->on_data(data(3000));
+  EXPECT_EQ(acks.size(), 3u);
+}
+
+}  // namespace
+}  // namespace prr::tcp

@@ -1,0 +1,117 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prr::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.uniform() == b.uniform();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng root(42);
+  Rng f1 = root.fork(7);
+  Rng f2 = Rng(42).fork(7);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(f1.uniform(), f2.uniform());
+
+  // Different streams diverge.
+  Rng g1 = root.fork(1), g2 = root.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += g1.uniform() == g2.uniform();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(9);
+  Rng b(9);
+  (void)a.fork(3);
+  EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = r.uniform_int(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliApproximatesProbability) {
+  Rng r(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(250.0);
+  EXPECT_NEAR(sum / n, 250.0, 10.0);
+}
+
+TEST(Rng, LognormalWithMeanHitsMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.lognormal_with_mean(7500.0, 1.0);
+  EXPECT_NEAR(sum / n, 7500.0, 500.0);
+}
+
+TEST(Rng, GeometricMeanAndSupport) {
+  Rng r(19);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int v = r.geometric(3.1);
+    EXPECT_GE(v, 1);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 3.1, 0.15);
+  // Degenerate mean clamps to 1.
+  EXPECT_EQ(r.geometric(0.5), 1);
+}
+
+TEST(Rng, ParetoScaleIsMinimum) {
+  Rng r(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.pareto(10.0, 2.0), 10.0);
+}
+
+}  // namespace
+}  // namespace prr::sim

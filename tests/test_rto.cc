@@ -1,0 +1,90 @@
+#include "tcp/rto.h"
+
+#include <gtest/gtest.h>
+
+namespace prr::tcp {
+namespace {
+
+using namespace prr::sim::literals;
+
+TEST(Rto, InitialRtoBeforeAnySample) {
+  RtoEstimator rto;
+  EXPECT_FALSE(rto.has_sample());
+  EXPECT_EQ(rto.rto().ms(), 1000);
+}
+
+TEST(Rto, FirstSampleInitializesSrttAndVar) {
+  RtoEstimator rto;
+  rto.on_rtt_sample(100_ms);
+  EXPECT_EQ(rto.srtt().ms(), 100);
+  EXPECT_EQ(rto.rttvar().ms(), 50);
+  // RTO = srtt + 4*rttvar = 300 ms.
+  EXPECT_EQ(rto.rto().ms(), 300);
+}
+
+TEST(Rto, ConvergesOnSteadyRtt) {
+  RtoEstimator rto;
+  for (int i = 0; i < 100; ++i) rto.on_rtt_sample(100_ms);
+  EXPECT_NEAR(rto.srtt().ms_d(), 100, 1);
+  // rttvar decays toward 0, so the min_rto floor binds.
+  EXPECT_EQ(rto.rto().ms(), 200);
+}
+
+TEST(Rto, MinRtoFloorApplies) {
+  RtoEstimator::Config cfg;
+  cfg.min_rto = 200_ms;
+  RtoEstimator rto(cfg);
+  for (int i = 0; i < 50; ++i) rto.on_rtt_sample(10_ms);
+  EXPECT_EQ(rto.rto().ms(), 200);
+}
+
+TEST(Rto, BackoffDoubles) {
+  RtoEstimator rto;
+  for (int i = 0; i < 20; ++i) rto.on_rtt_sample(100_ms);
+  const auto base = rto.rto();
+  rto.backoff();
+  EXPECT_EQ(rto.rto().ns(), base.ns() * 2);
+  rto.backoff();
+  EXPECT_EQ(rto.rto().ns(), base.ns() * 4);
+  EXPECT_EQ(rto.backoff_count(), 2);
+}
+
+TEST(Rto, BackoffCapsAtMax) {
+  RtoEstimator::Config cfg;
+  cfg.max_rto = 10_s;
+  RtoEstimator rto(cfg);
+  rto.on_rtt_sample(100_ms);
+  for (int i = 0; i < 30; ++i) rto.backoff();
+  EXPECT_EQ(rto.rto().ms(), 10'000);
+}
+
+TEST(Rto, ResetBackoffRestoresBase) {
+  RtoEstimator rto;
+  rto.on_rtt_sample(100_ms);
+  const auto base = rto.rto();
+  rto.backoff();
+  rto.backoff();
+  rto.reset_backoff();
+  EXPECT_EQ(rto.rto().ns(), base.ns());
+  EXPECT_EQ(rto.backoff_count(), 0);
+}
+
+TEST(Rto, VariableRttRaisesRto) {
+  RtoEstimator rto;
+  rto.on_rtt_sample(100_ms);
+  for (int i = 0; i < 20; ++i) {
+    rto.on_rtt_sample(i % 2 == 0 ? 50_ms : 150_ms);
+  }
+  // High variance keeps RTO well above srtt.
+  EXPECT_GT(rto.rto().ms(), rto.srtt().ms() + 100);
+}
+
+TEST(Rto, EwmaTracksShiftInRtt) {
+  RtoEstimator rto;
+  for (int i = 0; i < 50; ++i) rto.on_rtt_sample(100_ms);
+  for (int i = 0; i < 200; ++i) rto.on_rtt_sample(300_ms);
+  EXPECT_NEAR(rto.srtt().ms_d(), 300, 5);
+}
+
+}  // namespace
+}  // namespace prr::tcp

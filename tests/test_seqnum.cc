@@ -1,0 +1,85 @@
+#include "tcp/seqnum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace prr::tcp {
+namespace {
+
+TEST(SeqNum, BasicOrdering) {
+  SeqNum a(100), b(200);
+  EXPECT_TRUE(seq_lt(a, b));
+  EXPECT_TRUE(seq_leq(a, b));
+  EXPECT_TRUE(seq_gt(b, a));
+  EXPECT_TRUE(seq_geq(a, a));
+  EXPECT_FALSE(seq_lt(a, a));
+}
+
+TEST(SeqNum, WrapAroundOrdering) {
+  // 0xFFFFFFF0 precedes 0x10 across the wrap.
+  SeqNum hi(0xFFFFFFF0u), lo(0x10u);
+  EXPECT_TRUE(seq_lt(hi, lo));
+  EXPECT_TRUE(seq_gt(lo, hi));
+}
+
+TEST(SeqNum, SignedDistance) {
+  SeqNum a(0xFFFFFFF0u), b(0x10u);
+  EXPECT_EQ(b - a, 0x20);
+  EXPECT_EQ(a - b, -0x20);
+}
+
+TEST(SeqNum, AdditionWraps) {
+  SeqNum a(0xFFFFFFFFu);
+  EXPECT_EQ((a + 1).value(), 0u);
+  EXPECT_EQ((a + 2).value(), 1u);
+  SeqNum b(0);
+  EXPECT_EQ((b - 1u).value(), 0xFFFFFFFFu);
+}
+
+TEST(SeqNum, InWindow) {
+  SeqNum lo(1000);
+  EXPECT_TRUE(SeqNum(1000).in_window(lo, 100));
+  EXPECT_TRUE(SeqNum(1099).in_window(lo, 100));
+  EXPECT_FALSE(SeqNum(1100).in_window(lo, 100));
+  EXPECT_FALSE(SeqNum(999).in_window(lo, 100));
+}
+
+TEST(SeqNum, InWindowAcrossWrap) {
+  SeqNum lo(0xFFFFFFF0u);
+  EXPECT_TRUE(SeqNum(0xFFFFFFF5u).in_window(lo, 0x20));
+  EXPECT_TRUE(SeqNum(0x5u).in_window(lo, 0x20));
+  EXPECT_FALSE(SeqNum(0x10u).in_window(lo, 0x20));
+}
+
+TEST(SeqNum, FromU64Truncates) {
+  const uint64_t big = 0x1'0000'1234ull;
+  EXPECT_EQ(SeqNum::from_u64(big).value(), 0x1234u);
+}
+
+TEST(SeqNum, CompoundAdd) {
+  SeqNum a(10);
+  a += 5;
+  EXPECT_EQ(a.value(), 15u);
+}
+
+// Property sweep: for any base and forward offset < 2^31, ordering holds.
+class SeqNumWrapProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SeqNumWrapProperty, ForwardOffsetsCompareGreater) {
+  const SeqNum base(GetParam());
+  for (uint32_t off : {1u, 100u, 0xFFFFu, 0x7FFFFFFEu}) {
+    SeqNum fwd = base + off;
+    EXPECT_TRUE(seq_gt(fwd, base)) << GetParam() << "+" << off;
+    EXPECT_TRUE(seq_lt(base, fwd));
+    EXPECT_EQ(fwd - base, static_cast<int32_t>(off));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, SeqNumWrapProperty,
+                         ::testing::Values(0u, 1u, 0x7FFFFFFFu, 0x80000000u,
+                                           0xFFFFFFFFu, 0xDEADBEEFu));
+
+}  // namespace
+}  // namespace prr::tcp

@@ -1,0 +1,118 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace prr::sim {
+namespace {
+
+using namespace prr::sim::literals;
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.now().ns(), 0);
+  Time seen = Time::zero();
+  sim.schedule_in(50_ms, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen.ms(), 50);
+  EXPECT_EQ(sim.now().ms(), 50);
+}
+
+TEST(Simulator, RelativeSchedulingCompounds) {
+  Simulator sim;
+  Time second = Time::zero();
+  sim.schedule_in(10_ms, [&] {
+    sim.schedule_in(10_ms, [&] { second = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(second.ms(), 20);
+}
+
+TEST(Simulator, DeadlineStopsExecution) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(10_ms, [&] { ++fired; });
+  sim.schedule_in(100_ms, [&] { ++fired; });
+  sim.run(50_ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ms(), 50);  // clock advanced to the deadline
+  sim.run(200_ms);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule_in(10_ms, [&] {
+    Time fired_at = Time::infinite();
+    sim.schedule_in(Time::milliseconds(-5), [&] { fired_at = sim.now(); });
+    (void)fired_at;
+  });
+  sim.run();
+  EXPECT_EQ(sim.now().ms(), 10);
+}
+
+TEST(Simulator, StepRunsOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1_ms, [&] { ++fired; });
+  sim.schedule_in(2_ms, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(Time::milliseconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Timer, FiresAtExpiry) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.start(25_ms);
+  EXPECT_TRUE(t.pending());
+  EXPECT_EQ(t.expiry().ms(), 25);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, StopCancels) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.start(25_ms);
+  t.stop();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, RestartSupersedes) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.start(25_ms);
+  t.start(50_ms);  // re-arm: only the later expiry fires
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ms(), 50);
+}
+
+TEST(Timer, CanRearmFromCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] {
+    if (++fired < 3) t.start(10_ms);
+  });
+  t.start(10_ms);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now().ms(), 30);
+}
+
+}  // namespace
+}  // namespace prr::sim

@@ -1,0 +1,57 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace prr::sim {
+namespace {
+
+using namespace prr::sim::literals;
+
+TEST(Time, UnitConstructorsAgree) {
+  EXPECT_EQ(Time::milliseconds(1).ns(), 1'000'000);
+  EXPECT_EQ(Time::microseconds(1).ns(), 1'000);
+  EXPECT_EQ(Time::seconds(1.5).ms(), 1500);
+  EXPECT_EQ((3_ms).us(), 3000);
+  EXPECT_EQ((2_s).ms(), 2000);
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ((100_ms + 50_ms).ms(), 150);
+  EXPECT_EQ((100_ms - 50_ms).ms(), 50);
+  EXPECT_EQ((100_ms * 3).ms(), 300);
+  EXPECT_EQ((100_ms / 4).ms(), 25);
+  EXPECT_DOUBLE_EQ(200_ms / (100_ms), 2.0);
+  EXPECT_EQ((100_ms * 0.5).ms(), 50);
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_LE(2_ms, 2_ms);
+  EXPECT_GT(Time::infinite(), 1000000_s);
+  EXPECT_TRUE(Time::zero().is_zero());
+  EXPECT_TRUE(Time::infinite().is_infinite());
+  EXPECT_FALSE((1_ns).is_zero());
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = 10_ms;
+  t += 5_ms;
+  EXPECT_EQ(t.ms(), 15);
+  t -= 10_ms;
+  EXPECT_EQ(t.ms(), 5);
+}
+
+TEST(Time, FractionalViews) {
+  EXPECT_DOUBLE_EQ((1500_us).ms_d(), 1.5);
+  EXPECT_DOUBLE_EQ((250_ms).seconds_d(), 0.25);
+}
+
+TEST(Time, ToString) {
+  EXPECT_EQ((5_ms).to_string(), "5ms");
+  EXPECT_EQ((12_us).to_string(), "12us");
+  EXPECT_EQ((7_ns).to_string(), "7ns");
+  EXPECT_EQ(Time::infinite().to_string(), "inf");
+}
+
+}  // namespace
+}  // namespace prr::sim

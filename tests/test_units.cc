@@ -1,0 +1,45 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace prr::util {
+namespace {
+
+TEST(DataRate, Constructors) {
+  EXPECT_EQ(DataRate::bps(1000).bits_per_second(), 1000);
+  EXPECT_EQ(DataRate::kbps(64).bits_per_second(), 64'000);
+  EXPECT_EQ(DataRate::mbps(1.2).bits_per_second(), 1'200'000);
+  EXPECT_EQ(DataRate::gbps(1).bits_per_second(), 1'000'000'000);
+}
+
+TEST(DataRate, TransmitTimeExact) {
+  // 1040 bytes at 1.2 Mbps = 8320 bits / 1.2e6 bps = 6.9333... ms.
+  const auto t = DataRate::mbps(1.2).transmit_time(1040);
+  EXPECT_NEAR(t.ms_d(), 6.93333, 0.0001);
+}
+
+TEST(DataRate, TransmitTimeSmallAndLarge) {
+  EXPECT_EQ(DataRate::mbps(8).transmit_time(1).us(), 1);  // 8 bits at 8 Mbps
+  // 1 GB at 1 Gbps = 8 seconds.
+  const auto t = DataRate::gbps(1).transmit_time(1'000'000'000);
+  EXPECT_EQ(t.ms(), 8000);
+}
+
+TEST(DataRate, TransmitTimeMonotoneInSize) {
+  const auto r = DataRate::mbps(1.9);
+  EXPECT_LT(r.transmit_time(100), r.transmit_time(200));
+  EXPECT_LT(r.transmit_time(1000), r.transmit_time(1001));
+}
+
+TEST(DataRate, Comparisons) {
+  EXPECT_LT(DataRate::kbps(500), DataRate::mbps(1));
+  EXPECT_EQ(DataRate::kbps(1000), DataRate::mbps(1));
+  EXPECT_TRUE(DataRate().is_zero());
+}
+
+TEST(DataRate, MbpsView) {
+  EXPECT_DOUBLE_EQ(DataRate::mbps(1.9).mbps_d(), 1.9);
+}
+
+}  // namespace
+}  // namespace prr::util

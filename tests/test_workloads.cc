@@ -1,0 +1,126 @@
+// Population models: determinism (common random numbers), distribution
+// targets from the paper's Table 1 / §5.4, and structural sanity of the
+// generated samples.
+#include <gtest/gtest.h>
+
+#include "workload/video_workload.h"
+#include "workload/web_workload.h"
+
+namespace prr::workload {
+namespace {
+
+TEST(WebWorkload, DeterministicPerSeed) {
+  WebWorkload pop;
+  auto a = pop.sample(sim::Rng(42).fork(7));
+  auto b = pop.sample(sim::Rng(42).fork(7));
+  EXPECT_EQ(a.rtt.ns(), b.rtt.ns());
+  EXPECT_EQ(a.bandwidth.bits_per_second(), b.bandwidth.bits_per_second());
+  EXPECT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    EXPECT_EQ(a.responses[i].bytes, b.responses[i].bytes);
+    EXPECT_EQ(a.responses[i].gap_before.ns(), b.responses[i].gap_before.ns());
+  }
+  EXPECT_EQ(a.client_dsack, b.client_dsack);
+  EXPECT_DOUBLE_EQ(a.loss.p_good_to_bad, b.loss.p_good_to_bad);
+}
+
+TEST(WebWorkload, DifferentConnectionsDiffer) {
+  WebWorkload pop;
+  auto a = pop.sample(sim::Rng(42).fork(1));
+  auto b = pop.sample(sim::Rng(42).fork(2));
+  // At least one of the main draws must differ.
+  EXPECT_TRUE(a.rtt != b.rtt ||
+              a.bandwidth.bits_per_second() !=
+                  b.bandwidth.bits_per_second() ||
+              a.responses.size() != b.responses.size());
+}
+
+TEST(WebWorkload, AggregatesMatchPaperTable1) {
+  WebWorkload pop;
+  sim::Rng root(7);
+  double total_requests = 0, total_bytes = 0, total_rtt = 0, total_bw = 0;
+  int dsack = 0, abandon = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto s = pop.sample(root.fork(static_cast<uint64_t>(i)));
+    total_requests += static_cast<double>(s.responses.size());
+    for (const auto& r : s.responses)
+      total_bytes += static_cast<double>(r.bytes);
+    total_rtt += s.rtt.ms_d();
+    total_bw += s.bandwidth.mbps_d();
+    dsack += s.client_dsack;
+    abandon += s.client_abandons;
+  }
+  EXPECT_NEAR(total_requests / n, 3.1, 0.1);              // req/conn
+  EXPECT_NEAR(total_bytes / total_requests / 1000, 7.5, 1.0);  // kB
+  EXPECT_NEAR(total_bw / n, 1.9, 0.3);                    // Mbps
+  // DSACK support is conditional on SACK: 0.96 * 0.85.
+  EXPECT_NEAR(static_cast<double>(dsack) / n, 0.96 * 0.85, 0.03);
+  EXPECT_NEAR(static_cast<double>(abandon) / n, 0.02, 0.01);
+  EXPECT_GT(total_rtt / n, 50);
+  EXPECT_LT(total_rtt / n, 400);
+}
+
+TEST(WebWorkload, SamplesAreStructurallySane) {
+  WebWorkload pop;
+  sim::Rng root(11);
+  for (int i = 0; i < 2000; ++i) {
+    auto s = pop.sample(root.fork(static_cast<uint64_t>(i)));
+    EXPECT_GE(s.responses.size(), 1u);
+    EXPECT_GE(s.rtt.ms(), 10);
+    EXPECT_LE(s.rtt.ms(), 3000);
+    EXPECT_GE(s.queue_packets, 40u);
+    for (const auto& r : s.responses) {
+      EXPECT_GT(r.bytes, 0u);
+      EXPECT_LE(r.bytes, 500'000u);
+    }
+    // First response starts immediately; later ones have gaps.
+    EXPECT_TRUE(s.responses[0].gap_before.is_zero());
+    for (std::size_t j = 1; j < s.responses.size(); ++j) {
+      EXPECT_GE(s.responses[j].gap_before, s.rtt);
+    }
+    if (s.loss.p_good_to_bad > 0) {
+      EXPECT_LE(s.loss.p_good_to_bad, 0.08);
+      EXPECT_GT(s.loss.loss_in_bad, 0);
+    }
+  }
+}
+
+TEST(VideoWorkload, SingleThrottledTransferPerConnection) {
+  VideoWorkload pop;
+  sim::Rng root(13);
+  for (int i = 0; i < 500; ++i) {
+    auto s = pop.sample(root.fork(static_cast<uint64_t>(i)));
+    ASSERT_EQ(s.responses.size(), 1u);
+    const auto& r = s.responses[0];
+    EXPECT_GE(r.bytes, 200'000u);
+    EXPECT_GT(r.chunk_bytes, 0u);       // throttled
+    EXPECT_GT(r.burst_bytes, 0u);       // initial burst
+    EXPECT_FALSE(r.chunk_interval.is_zero());
+  }
+}
+
+TEST(VideoWorkload, AggregatesMatchPaperSection54) {
+  VideoWorkload pop;
+  sim::Rng root(17);
+  double total_bytes = 0, total_rtt = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    auto s = pop.sample(root.fork(static_cast<uint64_t>(i)));
+    total_bytes += static_cast<double>(s.responses[0].bytes);
+    total_rtt += s.rtt.ms_d();
+  }
+  EXPECT_NEAR(total_bytes / n / 1e6, 2.3, 0.3);  // MB per transfer
+  EXPECT_NEAR(total_rtt / n, 860, 120);          // ms
+}
+
+TEST(VideoWorkload, Deterministic) {
+  VideoWorkload pop;
+  auto a = pop.sample(sim::Rng(5).fork(3));
+  auto b = pop.sample(sim::Rng(5).fork(3));
+  EXPECT_EQ(a.responses[0].bytes, b.responses[0].bytes);
+  EXPECT_EQ(a.rtt.ns(), b.rtt.ns());
+}
+
+}  // namespace
+}  // namespace prr::workload
