@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reduction_bounds.dir/ablation_reduction_bounds.cc.o"
+  "CMakeFiles/ablation_reduction_bounds.dir/ablation_reduction_bounds.cc.o.d"
+  "ablation_reduction_bounds"
+  "ablation_reduction_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reduction_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ecn.dir/ext_ecn.cc.o"
+  "CMakeFiles/ext_ecn.dir/ext_ecn.cc.o.d"
+  "ext_ecn"
+  "ext_ecn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ecn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

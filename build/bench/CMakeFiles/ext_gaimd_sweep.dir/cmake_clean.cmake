@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_gaimd_sweep.dir/ext_gaimd_sweep.cc.o"
+  "CMakeFiles/ext_gaimd_sweep.dir/ext_gaimd_sweep.cc.o.d"
+  "ext_gaimd_sweep"
+  "ext_gaimd_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gaimd_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

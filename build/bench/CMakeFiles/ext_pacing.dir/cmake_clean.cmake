@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pacing.dir/ext_pacing.cc.o"
+  "CMakeFiles/ext_pacing.dir/ext_pacing.cc.o.d"
+  "ext_pacing"
+  "ext_pacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

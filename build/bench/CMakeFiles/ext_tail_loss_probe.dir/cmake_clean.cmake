@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tail_loss_probe.dir/ext_tail_loss_probe.cc.o"
+  "CMakeFiles/ext_tail_loss_probe.dir/ext_tail_loss_probe.cc.o.d"
+  "ext_tail_loss_probe"
+  "ext_tail_loss_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tail_loss_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_latency_vs_rtt.dir/fig1_latency_vs_rtt.cc.o"
+  "CMakeFiles/fig1_latency_vs_rtt.dir/fig1_latency_vs_rtt.cc.o.d"
+  "fig1_latency_vs_rtt"
+  "fig1_latency_vs_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_latency_vs_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

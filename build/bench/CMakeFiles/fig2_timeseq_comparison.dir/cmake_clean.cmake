@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_timeseq_comparison.dir/fig2_timeseq_comparison.cc.o"
+  "CMakeFiles/fig2_timeseq_comparison.dir/fig2_timeseq_comparison.cc.o.d"
+  "fig2_timeseq_comparison"
+  "fig2_timeseq_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_timeseq_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_heavy_loss.dir/fig3_heavy_loss.cc.o"
+  "CMakeFiles/fig3_heavy_loss.dir/fig3_heavy_loss.cc.o.d"
+  "fig3_heavy_loss"
+  "fig3_heavy_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_heavy_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

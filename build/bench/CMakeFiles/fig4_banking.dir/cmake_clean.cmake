@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_banking.dir/fig4_banking.cc.o"
+  "CMakeFiles/fig4_banking.dir/fig4_banking.cc.o.d"
+  "fig4_banking"
+  "fig4_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_recovery_time.dir/fig5_recovery_time.cc.o"
+  "CMakeFiles/fig5_recovery_time.dir/fig5_recovery_time.cc.o.d"
+  "fig5_recovery_time"
+  "fig5_recovery_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_recovery_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

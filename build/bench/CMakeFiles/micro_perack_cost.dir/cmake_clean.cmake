@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_perack_cost.dir/micro_perack_cost.cc.o"
+  "CMakeFiles/micro_perack_cost.dir/micro_perack_cost.cc.o.d"
+  "micro_perack_cost"
+  "micro_perack_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_perack_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_robustness.dir/prop_robustness.cc.o"
+  "CMakeFiles/prop_robustness.dir/prop_robustness.cc.o.d"
+  "prop_robustness"
+  "prop_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

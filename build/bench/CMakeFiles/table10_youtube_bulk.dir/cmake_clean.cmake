@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_youtube_bulk.dir/table10_youtube_bulk.cc.o"
+  "CMakeFiles/table10_youtube_bulk.dir/table10_youtube_bulk.cc.o.d"
+  "table10_youtube_bulk"
+  "table10_youtube_bulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_youtube_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

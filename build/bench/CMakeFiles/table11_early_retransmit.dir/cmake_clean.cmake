@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_early_retransmit.dir/table11_early_retransmit.cc.o"
+  "CMakeFiles/table11_early_retransmit.dir/table11_early_retransmit.cc.o.d"
+  "table11_early_retransmit"
+  "table11_early_retransmit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_early_retransmit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

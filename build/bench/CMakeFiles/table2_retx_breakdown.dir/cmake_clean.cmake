@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_retx_breakdown.dir/table2_retx_breakdown.cc.o"
+  "CMakeFiles/table2_retx_breakdown.dir/table2_retx_breakdown.cc.o.d"
+  "table2_retx_breakdown"
+  "table2_retx_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_retx_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_features.dir/table4_features.cc.o"
+  "CMakeFiles/table4_features.dir/table4_features.cc.o.d"
+  "table4_features"
+  "table4_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_pipe_vs_ssthresh.dir/table5_pipe_vs_ssthresh.cc.o"
+  "CMakeFiles/table5_pipe_vs_ssthresh.dir/table5_pipe_vs_ssthresh.cc.o.d"
+  "table5_pipe_vs_ssthresh"
+  "table5_pipe_vs_ssthresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_pipe_vs_ssthresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

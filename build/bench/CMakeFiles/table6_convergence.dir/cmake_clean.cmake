@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_convergence.dir/table6_convergence.cc.o"
+  "CMakeFiles/table6_convergence.dir/table6_convergence.cc.o.d"
+  "table6_convergence"
+  "table6_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_cwnd_after_recovery.dir/table7_cwnd_after_recovery.cc.o"
+  "CMakeFiles/table7_cwnd_after_recovery.dir/table7_cwnd_after_recovery.cc.o.d"
+  "table7_cwnd_after_recovery"
+  "table7_cwnd_after_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_cwnd_after_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_retx_comparison.dir/table8_retx_comparison.cc.o"
+  "CMakeFiles/table8_retx_comparison.dir/table8_retx_comparison.cc.o.d"
+  "table8_retx_comparison"
+  "table8_retx_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_retx_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_http_latency.dir/table9_http_latency.cc.o"
+  "CMakeFiles/table9_http_latency.dir/table9_http_latency.cc.o.d"
+  "table9_http_latency"
+  "table9_http_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_http_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

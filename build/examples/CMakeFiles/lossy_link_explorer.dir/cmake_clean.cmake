@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_link_explorer.dir/lossy_link_explorer.cpp.o"
+  "CMakeFiles/lossy_link_explorer.dir/lossy_link_explorer.cpp.o.d"
+  "lossy_link_explorer"
+  "lossy_link_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_link_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

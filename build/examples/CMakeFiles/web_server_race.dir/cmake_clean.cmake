@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_server_race.dir/web_server_race.cpp.o"
+  "CMakeFiles/web_server_race.dir/web_server_race.cpp.o.d"
+  "web_server_race"
+  "web_server_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_server_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

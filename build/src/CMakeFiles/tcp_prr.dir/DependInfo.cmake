@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/prr.cc" "src/CMakeFiles/tcp_prr.dir/core/prr.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/core/prr.cc.o.d"
+  "/root/repo/src/exp/experiment.cc" "src/CMakeFiles/tcp_prr.dir/exp/experiment.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/exp/experiment.cc.o.d"
+  "/root/repo/src/exp/scenarios.cc" "src/CMakeFiles/tcp_prr.dir/exp/scenarios.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/exp/scenarios.cc.o.d"
+  "/root/repo/src/http/server_app.cc" "src/CMakeFiles/tcp_prr.dir/http/server_app.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/http/server_app.cc.o.d"
+  "/root/repo/src/net/ack_mangler.cc" "src/CMakeFiles/tcp_prr.dir/net/ack_mangler.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/net/ack_mangler.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/tcp_prr.dir/net/link.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/net/link.cc.o.d"
+  "/root/repo/src/net/loss_model.cc" "src/CMakeFiles/tcp_prr.dir/net/loss_model.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/net/loss_model.cc.o.d"
+  "/root/repo/src/net/path.cc" "src/CMakeFiles/tcp_prr.dir/net/path.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/net/path.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/tcp_prr.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/tcp_prr.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/tcp_prr.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/stats/latency.cc" "src/CMakeFiles/tcp_prr.dir/stats/latency.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/stats/latency.cc.o.d"
+  "/root/repo/src/stats/recovery_log.cc" "src/CMakeFiles/tcp_prr.dir/stats/recovery_log.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/stats/recovery_log.cc.o.d"
+  "/root/repo/src/tcp/cc/binomial.cc" "src/CMakeFiles/tcp_prr.dir/tcp/cc/binomial.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/tcp/cc/binomial.cc.o.d"
+  "/root/repo/src/tcp/cc/cubic.cc" "src/CMakeFiles/tcp_prr.dir/tcp/cc/cubic.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/tcp/cc/cubic.cc.o.d"
+  "/root/repo/src/tcp/cc/gaimd.cc" "src/CMakeFiles/tcp_prr.dir/tcp/cc/gaimd.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/tcp/cc/gaimd.cc.o.d"
+  "/root/repo/src/tcp/cc/newreno.cc" "src/CMakeFiles/tcp_prr.dir/tcp/cc/newreno.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/tcp/cc/newreno.cc.o.d"
+  "/root/repo/src/tcp/connection.cc" "src/CMakeFiles/tcp_prr.dir/tcp/connection.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/tcp/connection.cc.o.d"
+  "/root/repo/src/tcp/metrics.cc" "src/CMakeFiles/tcp_prr.dir/tcp/metrics.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/tcp/metrics.cc.o.d"
+  "/root/repo/src/tcp/receiver.cc" "src/CMakeFiles/tcp_prr.dir/tcp/receiver.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/tcp/receiver.cc.o.d"
+  "/root/repo/src/tcp/recovery/prr.cc" "src/CMakeFiles/tcp_prr.dir/tcp/recovery/prr.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/tcp/recovery/prr.cc.o.d"
+  "/root/repo/src/tcp/recovery/rate_halving.cc" "src/CMakeFiles/tcp_prr.dir/tcp/recovery/rate_halving.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/tcp/recovery/rate_halving.cc.o.d"
+  "/root/repo/src/tcp/rto.cc" "src/CMakeFiles/tcp_prr.dir/tcp/rto.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/tcp/rto.cc.o.d"
+  "/root/repo/src/tcp/scoreboard.cc" "src/CMakeFiles/tcp_prr.dir/tcp/scoreboard.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/tcp/scoreboard.cc.o.d"
+  "/root/repo/src/tcp/sender.cc" "src/CMakeFiles/tcp_prr.dir/tcp/sender.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/tcp/sender.cc.o.d"
+  "/root/repo/src/trace/pcap.cc" "src/CMakeFiles/tcp_prr.dir/trace/pcap.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/trace/pcap.cc.o.d"
+  "/root/repo/src/trace/timeseq.cc" "src/CMakeFiles/tcp_prr.dir/trace/timeseq.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/trace/timeseq.cc.o.d"
+  "/root/repo/src/util/quantiles.cc" "src/CMakeFiles/tcp_prr.dir/util/quantiles.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/util/quantiles.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/tcp_prr.dir/util/table.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/util/table.cc.o.d"
+  "/root/repo/src/workload/population.cc" "src/CMakeFiles/tcp_prr.dir/workload/population.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/workload/population.cc.o.d"
+  "/root/repo/src/workload/video_workload.cc" "src/CMakeFiles/tcp_prr.dir/workload/video_workload.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/workload/video_workload.cc.o.d"
+  "/root/repo/src/workload/web_workload.cc" "src/CMakeFiles/tcp_prr.dir/workload/web_workload.cc.o" "gcc" "src/CMakeFiles/tcp_prr.dir/workload/web_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

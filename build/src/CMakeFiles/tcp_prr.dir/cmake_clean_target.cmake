@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcp_prr.a"
+)

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ack_mangler.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_ack_mangler.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_ack_mangler.cc.o.d"
+  "/root/repo/tests/test_congestion_control.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_congestion_control.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_congestion_control.cc.o.d"
+  "/root/repo/tests/test_connection_integration.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_connection_integration.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_connection_integration.cc.o.d"
+  "/root/repo/tests/test_core_prr.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_core_prr.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_core_prr.cc.o.d"
+  "/root/repo/tests/test_cross_cc_properties.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_cross_cc_properties.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_cross_cc_properties.cc.o.d"
+  "/root/repo/tests/test_ecn.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_ecn.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_ecn.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_failure_injection.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_failure_injection.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_failure_injection.cc.o.d"
+  "/root/repo/tests/test_link.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_link.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_link.cc.o.d"
+  "/root/repo/tests/test_loss_models.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_loss_models.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_loss_models.cc.o.d"
+  "/root/repo/tests/test_newreno_recovery.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_newreno_recovery.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_newreno_recovery.cc.o.d"
+  "/root/repo/tests/test_pacing.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_pacing.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_pacing.cc.o.d"
+  "/root/repo/tests/test_paper_figures.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_paper_figures.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_paper_figures.cc.o.d"
+  "/root/repo/tests/test_pcap.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_pcap.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_pcap.cc.o.d"
+  "/root/repo/tests/test_prr_vectors.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_prr_vectors.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_prr_vectors.cc.o.d"
+  "/root/repo/tests/test_quantiles.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_quantiles.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_quantiles.cc.o.d"
+  "/root/repo/tests/test_receiver.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_receiver.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_receiver.cc.o.d"
+  "/root/repo/tests/test_recovery_policies.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_recovery_policies.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_recovery_policies.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_rto.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_rto.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_rto.cc.o.d"
+  "/root/repo/tests/test_scoreboard.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_scoreboard.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_scoreboard.cc.o.d"
+  "/root/repo/tests/test_sender_basic.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_sender_basic.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_sender_basic.cc.o.d"
+  "/root/repo/tests/test_sender_recovery.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_sender_recovery.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_sender_recovery.cc.o.d"
+  "/root/repo/tests/test_seqnum.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_seqnum.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_seqnum.cc.o.d"
+  "/root/repo/tests/test_server_app.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_server_app.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_server_app.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_tail_loss_probe.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_tail_loss_probe.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_tail_loss_probe.cc.o.d"
+  "/root/repo/tests/test_time.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_time.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_time.cc.o.d"
+  "/root/repo/tests/test_timestamps.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_timestamps.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_timestamps.cc.o.d"
+  "/root/repo/tests/test_trace_stats.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_trace_stats.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_trace_stats.cc.o.d"
+  "/root/repo/tests/test_units.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_units.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_units.cc.o.d"
+  "/root/repo/tests/test_window_validation.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_window_validation.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_window_validation.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/tcp_prr_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/tcp_prr_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcp_prr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
