@@ -1,7 +1,11 @@
 #include "exp/experiment.h"
 
+#include <cstdio>
+#include <exception>
 #include <memory>
+#include <utility>
 
+#include "net/fault_injector.h"
 #include "net/loss_model.h"
 #include "net/reorder_model.h"
 #include "sim/simulator.h"
@@ -16,6 +20,38 @@ double ArmResult::fraction_bytes_in_fast_recovery() const {
              ? 0
              : static_cast<double>(in_fr) /
                    static_cast<double>(metrics.bytes_sent);
+}
+
+std::string QuarantineRecord::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "conn %llu arm '%s' seed %llu%s%s: %zu violation(s)%s%s",
+                static_cast<unsigned long long>(connection_id),
+                arm_name.c_str(), static_cast<unsigned long long>(seed),
+                scenario.empty() ? "" : " scenario ",
+                scenario.empty() ? "" : scenario.c_str(),
+                violations.size(), exception.empty() ? "" : ", exception: ",
+                exception.empty() ? "" : exception.c_str());
+  std::string out = buf;
+  for (const auto& v : violations) {
+    out += "\n    [";
+    out += tcp::to_string(v.kind);
+    out += " @ " + std::to_string(v.at.ms()) + "ms] " + v.detail;
+  }
+  if (fault_summary != "(none)" && !fault_summary.empty()) {
+    out += "\n    faults: " + fault_summary;
+  }
+  return out;
+}
+
+bool ReplayResult::reproduced(const QuarantineRecord& rec) const {
+  if (!rec.exception.empty()) return exception == rec.exception;
+  if (violations.size() != rec.violations.size()) return false;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (violations[i].kind != rec.violations[i].kind) return false;
+    if (violations[i].at != rec.violations[i].at) return false;
+  }
+  return !violations.empty();
 }
 
 namespace {
@@ -52,6 +88,109 @@ tcp::ConnectionConfig make_connection_config(
   return cc;
 }
 
+struct ConnectionOutcome {
+  std::vector<tcp::InvariantViolation> violations;
+  std::string fault_summary;
+  uint64_t acks_checked = 0;
+  bool aborted = false;
+  bool all_acked = false;
+};
+
+// Runs connection `id` of the (pop, arm, opts) experiment — the one place
+// both the sweep and quarantine replay go through, so a replay is the
+// exact computation the original run performed. `result` may be null
+// (replay mode: no aggregation). `force_check` enables the invariant
+// checker regardless of opts.check_invariants.
+ConnectionOutcome run_one_connection(const workload::Population& pop,
+                                     const ArmConfig& arm,
+                                     const RunOptions& opts, uint64_t id,
+                                     bool force_check, ArmResult* result) {
+  ConnectionOutcome outcome;
+
+  // Common random numbers: the sample and all network randomness derive
+  // from (seed, id), independent of the arm.
+  sim::Rng conn_rng = sim::Rng(opts.seed).fork(id);
+  workload::ConnectionSample sample = pop.sample(conn_rng.fork(100));
+  if (result != nullptr) {
+    for (const auto& resp : sample.responses) {
+      result->total_workload_bytes += resp.bytes;
+    }
+  }
+  outcome.fault_summary = sample.faults.describe();
+
+  sim::Simulator sim;
+  tcp::Connection conn(sim, make_connection_config(sample, arm),
+                       conn_rng.fork(101),
+                       result != nullptr ? &result->metrics : nullptr,
+                       result != nullptr ? &result->recovery_log : nullptr);
+
+  // Network impairments, seeded independently of the arm.
+  {
+    auto composite = std::make_unique<net::CompositeLoss>();
+    bool any = false;
+    if (sample.loss.p_good_to_bad > 0 || sample.loss.loss_in_good > 0) {
+      composite->add(std::make_unique<net::GilbertElliottLoss>(
+          sample.loss, conn_rng.fork(102)));
+      any = true;
+    }
+    if (sample.outages) {
+      composite->add(std::make_unique<net::OutageLoss>(
+          sim, sample.outage, conn_rng.fork(104)));
+      any = true;
+    }
+    if (any) {
+      conn.path().data_link().set_loss_model(std::move(composite));
+    }
+  }
+  if (sample.reorder_prob > 0) {
+    conn.path().data_link().set_reorder_model(
+        std::make_unique<net::RandomReorder>(
+            sample.reorder_prob, sample.reorder_min, sample.reorder_max,
+            conn_rng.fork(103)));
+  }
+
+  // Time-varying path dynamics (chaos scenarios).
+  net::FaultInjector injector(sim, conn.path(), sample.faults);
+  if (!injector.schedule().empty()) injector.arm();
+
+  // The safety net: per-ACK invariant checking, quarantine on violation.
+  std::unique_ptr<tcp::InvariantChecker> checker;
+  if (force_check || opts.check_invariants) {
+    tcp::InvariantChecker::Config ccfg;
+    if (opts.inject_violation_connection >= 0 &&
+        static_cast<uint64_t>(opts.inject_violation_connection) == id) {
+      ccfg.inject_on_ack = opts.inject_violation_on_ack;
+    }
+    checker = std::make_unique<tcp::InvariantChecker>(sim, conn.sender(),
+                                                      ccfg);
+  }
+
+  http::ServerApp app(sim, conn, sample.responses,
+                      result != nullptr ? &result->latency : nullptr);
+  if (sample.client_abandons) {
+    sim.schedule_in(sample.abandon_after,
+                    [&conn] { conn.path().kill_client(); });
+  }
+  app.start();
+  sim.run(opts.per_connection_limit);
+
+  if (checker) {
+    checker->finalize();
+    outcome.violations = checker->violations();
+    outcome.acks_checked = checker->acks_checked();
+  }
+  outcome.aborted = conn.sender().aborted();
+  outcome.all_acked = conn.sender().all_acked();
+
+  if (result != nullptr) {
+    result->total_network_transmit_time +=
+        conn.sender().network_transmit_time();
+    result->total_loss_recovery_time += conn.sender().loss_recovery_time();
+    ++result->connections_run;
+  }
+  return outcome;
+}
+
 }  // namespace
 
 ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,
@@ -60,55 +199,31 @@ ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,
   result.name = arm.name;
 
   for (int i = 0; i < opts.connections; ++i) {
-    // Common random numbers: the sample and all network randomness derive
-    // from (seed, i), independent of the arm.
-    sim::Rng conn_rng = sim::Rng(opts.seed).fork(static_cast<uint64_t>(i));
-    workload::ConnectionSample sample = pop.sample(conn_rng.fork(100));
-    for (const auto& resp : sample.responses) {
-      result.total_workload_bytes += resp.bytes;
+    const uint64_t id = static_cast<uint64_t>(i);
+    ConnectionOutcome outcome;
+    std::string exception;
+    try {
+      outcome = run_one_connection(pop, arm, opts, id, /*force_check=*/false,
+                                   &result);
+    } catch (const std::exception& e) {
+      exception = e.what();
+    } catch (...) {
+      exception = "unknown exception";
     }
+    result.acks_checked += outcome.acks_checked;
+    if (outcome.violations.empty() && exception.empty()) continue;
 
-    sim::Simulator sim;
-    tcp::Connection conn(sim, make_connection_config(sample, arm),
-                         conn_rng.fork(101), &result.metrics,
-                         &result.recovery_log);
-
-    // Network impairments, seeded independently of the arm.
-    {
-      auto composite = std::make_unique<net::CompositeLoss>();
-      bool any = false;
-      if (sample.loss.p_good_to_bad > 0 || sample.loss.loss_in_good > 0) {
-        composite->add(std::make_unique<net::GilbertElliottLoss>(
-            sample.loss, conn_rng.fork(102)));
-        any = true;
-      }
-      if (sample.outages) {
-        composite->add(std::make_unique<net::OutageLoss>(
-            sim, sample.outage, conn_rng.fork(104)));
-        any = true;
-      }
-      if (any) {
-        conn.path().data_link().set_loss_model(std::move(composite));
-      }
-    }
-    if (sample.reorder_prob > 0) {
-      conn.path().data_link().set_reorder_model(
-          std::make_unique<net::RandomReorder>(
-              sample.reorder_prob, sample.reorder_min, sample.reorder_max,
-              conn_rng.fork(103)));
-    }
-
-    http::ServerApp app(sim, conn, sample.responses, &result.latency);
-    if (sample.client_abandons) {
-      sim.schedule_in(sample.abandon_after,
-                      [&conn] { conn.path().kill_client(); });
-    }
-    app.start();
-    sim.run(opts.per_connection_limit);
-
-    result.total_network_transmit_time += conn.sender().network_transmit_time();
-    result.total_loss_recovery_time += conn.sender().loss_recovery_time();
-    ++result.connections_run;
+    // Quarantine: log enough to replay, keep the run going.
+    QuarantineRecord rec;
+    rec.seed = opts.seed;
+    rec.connection_id = id;
+    rec.arm_name = arm.name;
+    rec.scenario = opts.scenario;
+    rec.fault_summary = outcome.fault_summary;
+    rec.violations = outcome.violations;
+    rec.exception = std::move(exception);
+    result.invariant_violations += rec.violations.size();
+    result.quarantined.push_back(std::move(rec));
   }
   return result;
 }
@@ -120,6 +235,36 @@ std::vector<ArmResult> run_arms(const workload::Population& pop,
   results.reserve(arms.size());
   for (const auto& arm : arms) results.push_back(run_arm(pop, arm, opts));
   return results;
+}
+
+ArmResult Experiment::run(const ArmConfig& arm) const {
+  return run_arm(pop_, arm, opts_);
+}
+
+std::vector<ArmResult> Experiment::run(
+    const std::vector<ArmConfig>& arms) const {
+  return run_arms(pop_, arms, opts_);
+}
+
+ReplayResult Experiment::replay(const ArmConfig& arm,
+                                const QuarantineRecord& record) const {
+  ReplayResult replay;
+  RunOptions opts = opts_;
+  opts.seed = record.seed;  // the record pins the sample path
+  try {
+    ConnectionOutcome outcome =
+        run_one_connection(pop_, arm, opts, record.connection_id,
+                           /*force_check=*/true, /*result=*/nullptr);
+    replay.violations = std::move(outcome.violations);
+    replay.aborted = outcome.aborted;
+    replay.all_acked = outcome.all_acked;
+    replay.acks_checked = outcome.acks_checked;
+  } catch (const std::exception& e) {
+    replay.exception = e.what();
+  } catch (...) {
+    replay.exception = "unknown exception";
+  }
+  return replay;
 }
 
 }  // namespace prr::exp

@@ -3,6 +3,14 @@
 // connection sample paths across arms), aggregating the statistics every
 // paper table consumes. The simulator analogue of the paper's server-
 // binned A/B framework (§5.1).
+//
+// Production-scale safety net: with `RunOptions::check_invariants` every
+// connection runs under a tcp::InvariantChecker, and a connection that
+// trips an invariant or throws is *quarantined* — its (seed, connection
+// id, arm, scenario, fault schedule) tuple is logged to
+// ArmResult::quarantined and the run continues. Experiment::replay()
+// re-runs a quarantined connection deterministically in isolation (the
+// whole sample path derives from (seed, id), so the replay is exact).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +21,7 @@
 #include "sim/time.h"
 #include "stats/latency.h"
 #include "stats/recovery_log.h"
+#include "tcp/invariants.h"
 #include "tcp/metrics.h"
 #include "tcp/sender.h"
 #include "workload/population.h"
@@ -52,6 +61,21 @@ struct ArmConfig {
   }
 };
 
+// Everything needed to reproduce one misbehaving connection in isolation:
+// the full sample path (network, workload, faults) derives from
+// (seed, connection_id), and the arm is identified by name.
+struct QuarantineRecord {
+  uint64_t seed = 0;
+  uint64_t connection_id = 0;
+  std::string arm_name;
+  std::string scenario;       // RunOptions::scenario at the time of the run
+  std::string fault_summary;  // FaultSchedule::describe() of the sample
+  std::vector<tcp::InvariantViolation> violations;
+  std::string exception;  // non-empty if the connection threw
+
+  std::string summary() const;
+};
+
 struct ArmResult {
   std::string name;
   tcp::Metrics metrics;
@@ -63,6 +87,12 @@ struct ArmResult {
   // Sum of all drawn response sizes: identical across arms by the
   // common-random-numbers construction (checked in tests).
   uint64_t total_workload_bytes = 0;
+
+  // Chaos-harness safety net (graceful degradation): connections that
+  // tripped an invariant or threw, with enough context to replay each.
+  std::vector<QuarantineRecord> quarantined;
+  uint64_t invariant_violations = 0;  // total across the arm
+  uint64_t acks_checked = 0;          // ACKs the checker examined
 
   double retransmission_rate() const {
     return metrics.data_segments_sent == 0
@@ -89,6 +119,53 @@ struct RunOptions {
   uint64_t seed = 42;
   // Wall-clock cap per connection (simulated time).
   sim::Time per_connection_limit = sim::Time::seconds(600);
+
+  // Attach a tcp::InvariantChecker to every connection and quarantine
+  // the ones that trip it. Off by default: the stationary experiment hot
+  // path pays nothing for the safety net.
+  bool check_invariants = false;
+  // Label recorded into QuarantineRecords (e.g. the chaos scenario name).
+  std::string scenario;
+  // Synthetic-violation injection for testing the quarantine machinery:
+  // connection `inject_violation_connection` records one artificial
+  // violation on its `inject_violation_on_ack`-th ACK (-1 = never).
+  int64_t inject_violation_connection = -1;
+  uint64_t inject_violation_on_ack = 1;
+};
+
+// Outcome of re-running a single quarantined connection in isolation.
+struct ReplayResult {
+  std::vector<tcp::InvariantViolation> violations;
+  std::string exception;
+  bool aborted = false;
+  bool all_acked = false;
+  uint64_t acks_checked = 0;
+
+  // The replay saw the same failure class the original run recorded.
+  bool reproduced(const QuarantineRecord& rec) const;
+};
+
+// Bundles a population with run options so a chaos sweep and the replay
+// of anything it quarantines share one configuration.
+class Experiment {
+ public:
+  Experiment(const workload::Population& pop, RunOptions opts)
+      : pop_(pop), opts_(std::move(opts)) {}
+
+  ArmResult run(const ArmConfig& arm) const;
+  std::vector<ArmResult> run(const std::vector<ArmConfig>& arms) const;
+
+  // Re-runs one quarantined connection deterministically, with invariant
+  // checking forced on. `arm` must be the configuration of the arm named
+  // in the record.
+  ReplayResult replay(const ArmConfig& arm,
+                      const QuarantineRecord& record) const;
+
+  const RunOptions& options() const { return opts_; }
+
+ private:
+  const workload::Population& pop_;
+  RunOptions opts_;
 };
 
 // Runs one arm over the population.

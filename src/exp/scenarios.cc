@@ -60,6 +60,10 @@ FigureRun run_figure_scenario(const FigureScenario& scenario) {
   conn.path().data_link().set_loss_model(
       std::make_unique<net::DeterministicLoss>(scenario.original_drops,
                                                scenario.retransmit_drops));
+  std::unique_ptr<tcp::InvariantChecker> checker;
+  if (scenario.check_invariants) {
+    checker = std::make_unique<tcp::InvariantChecker>(sim, conn.sender());
+  }
   run.trace.attach(sim, conn);
 
   std::ofstream pcap_file;
@@ -91,10 +95,90 @@ FigureRun run_figure_scenario(const FigureScenario& scenario) {
 
   sim.run(scenario.run_for);
 
+  if (checker) {
+    checker->finalize();
+    run.violations = checker->violations();
+    run.acks_checked = checker->acks_checked();
+  }
   run.final_cwnd_bytes = conn.sender().cwnd_bytes();
   run.final_ssthresh_bytes = conn.sender().ssthresh_bytes();
   run.final_state = conn.sender().state();
   return run;
+}
+
+ChaosSpec ChaosSpec::blackout() {
+  ChaosSpec s;
+  s.name = "blackout";
+  s.profile.p_blackout = 1.0;
+  s.profile.flap_repeats = 1;
+  return s;
+}
+
+ChaosSpec ChaosSpec::link_flap() {
+  ChaosSpec s;
+  s.name = "link_flap";
+  s.profile.p_blackout = 1.0;
+  s.profile.blackout_min = sim::Time::milliseconds(100);
+  s.profile.blackout_max = sim::Time::milliseconds(600);
+  s.profile.flap_repeats = 4;
+  s.profile.flap_gap = sim::Time::milliseconds(400);
+  return s;
+}
+
+ChaosSpec ChaosSpec::rtt_spike() {
+  ChaosSpec s;
+  s.name = "rtt_spike";
+  s.profile.p_rtt_spike = 1.0;
+  return s;
+}
+
+ChaosSpec ChaosSpec::bandwidth_shift() {
+  ChaosSpec s;
+  s.name = "bandwidth_shift";
+  s.profile.p_bandwidth_shift = 1.0;
+  return s;
+}
+
+ChaosSpec ChaosSpec::ack_outage() {
+  ChaosSpec s;
+  s.name = "ack_outage";
+  s.profile.p_ack_outage = 1.0;
+  return s;
+}
+
+ChaosSpec ChaosSpec::receiver_stall() {
+  ChaosSpec s;
+  s.name = "receiver_stall";
+  s.profile.p_receiver_stall = 1.0;
+  return s;
+}
+
+ChaosSpec ChaosSpec::everything() {
+  ChaosSpec s;
+  s.name = "everything";
+  s.profile.p_blackout = 0.5;
+  s.profile.flap_repeats = 3;
+  s.profile.p_bandwidth_shift = 0.5;
+  s.profile.p_rtt_spike = 0.5;
+  s.profile.p_queue_resize = 0.5;
+  s.profile.p_ack_outage = 0.35;
+  s.profile.p_receiver_stall = 0.35;
+  return s;
+}
+
+std::vector<ChaosSpec> standard_chaos_suite() {
+  return {ChaosSpec::blackout(),        ChaosSpec::link_flap(),
+          ChaosSpec::rtt_spike(),       ChaosSpec::bandwidth_shift(),
+          ChaosSpec::ack_outage(),      ChaosSpec::receiver_stall(),
+          ChaosSpec::everything()};
+}
+
+workload::ConnectionSample ChaosPopulation::sample(sim::Rng rng) const {
+  workload::ConnectionSample s = base_.sample(rng);
+  // Reserved sub-stream: existing populations fork 100-104, so the fault
+  // draw never collides with (or shifts) the base sample's randomness.
+  s.faults.merge(net::FaultSchedule::random(profile_, rng.fork(0xFA17)));
+  return s;
 }
 
 }  // namespace prr::exp

@@ -12,11 +12,14 @@
 #include <vector>
 
 #include "core/prr.h"
+#include "net/fault_schedule.h"
 #include "sim/time.h"
 #include "stats/recovery_log.h"
+#include "tcp/invariants.h"
 #include "tcp/metrics.h"
 #include "tcp/sender.h"
 #include "trace/timeseq.h"
+#include "workload/population.h"
 
 namespace prr::exp {
 
@@ -40,6 +43,9 @@ struct FigureScenario {
   // When non-empty, a Wireshark-compatible capture of the run is written
   // to this path.
   std::string pcap_path;
+  // Attach a tcp::InvariantChecker; violations land in
+  // FigureRun::violations.
+  bool check_invariants = false;
 
   // Fig 2: server writes 20 kB at t=0 and 10 kB at t=500 ms; the first
   // four segments are dropped.
@@ -60,8 +66,52 @@ struct FigureRun {
   tcp::TcpState final_state = tcp::TcpState::kOpen;
   sim::Time all_acked_at;            // when snd.una reached write_end
   uint64_t total_written = 0;
+  // Populated when FigureScenario::check_invariants is set.
+  std::vector<tcp::InvariantViolation> violations;
+  uint64_t acks_checked = 0;
 };
 
 FigureRun run_figure_scenario(const FigureScenario& scenario);
+
+// ---- Chaos scenarios ----
+//
+// A ChaosSpec names one fault regime (which path mutations fire, how
+// often, how hard). The chaos sweep runs every spec in the suite across
+// all recovery arms with invariant checking on; anything that trips is
+// quarantined, not fatal.
+struct ChaosSpec {
+  std::string name;
+  net::FaultProfile profile;
+
+  // Single-family regimes, one per fault kind the injector supports.
+  static ChaosSpec blackout();         // one dark period mid-transfer
+  static ChaosSpec link_flap();        // repeated short dark periods
+  static ChaosSpec rtt_spike();        // transient reroute, RTT x1.5-6
+  static ChaosSpec bandwidth_shift();  // permanent rate change x0.1-2
+  static ChaosSpec ack_outage();       // reverse path goes dark
+  static ChaosSpec receiver_stall();   // client stops ACKing, then resumes
+  // All families at once with elevated probabilities — the worst case.
+  static ChaosSpec everything();
+};
+
+// The specs the chaos sweep and robustness bench iterate, in order.
+std::vector<ChaosSpec> standard_chaos_suite();
+
+// Decorator: draws the base population's sample unchanged, then attaches
+// a random fault schedule from `profile`. The fault draw uses a reserved
+// sub-stream (fork 0xFA17) of the per-connection rng, so the base sample
+// path — and hence every cross-arm comparison — is identical with and
+// without chaos.
+class ChaosPopulation final : public workload::Population {
+ public:
+  ChaosPopulation(const workload::Population& base, net::FaultProfile profile)
+      : base_(base), profile_(std::move(profile)) {}
+
+  workload::ConnectionSample sample(sim::Rng rng) const override;
+
+ private:
+  const workload::Population& base_;
+  net::FaultProfile profile_;
+};
 
 }  // namespace prr::exp

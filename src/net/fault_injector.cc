@@ -1,0 +1,76 @@
+#include "net/fault_injector.h"
+
+namespace prr::net {
+
+void FaultInjector::arm() {
+  for (const FaultEvent& e : schedule_.events()) {
+    sim_.schedule_at(e.at, [this, e] { apply(e); });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& e) {
+  ++stats_.faults_applied;
+  switch (e.kind) {
+    case FaultKind::kBlackout: {
+      ++stats_.blackouts;
+      if (++data_blackout_depth_ == 1) path_.data_link().set_blackout(true);
+      sim_.schedule_in(e.duration, [this] {
+        if (--data_blackout_depth_ == 0) {
+          path_.data_link().set_blackout(false);
+        }
+      });
+      break;
+    }
+    case FaultKind::kBandwidthShift: {
+      ++stats_.bandwidth_shifts;
+      const int64_t bps = static_cast<int64_t>(
+          static_cast<double>(path_.data_link().rate().bits_per_second()) *
+          e.scale);
+      // Floor at 1 kbps: a zero rate would stall serialization forever,
+      // which is a blackout's job, not a bandwidth shift's.
+      path_.data_link().set_rate(util::DataRate::bps(bps < 1000 ? 1000 : bps));
+      break;
+    }
+    case FaultKind::kRttSpike: {
+      ++stats_.rtt_spikes;
+      if (++rtt_spike_depth_ == 1) {
+        base_data_delay_ = path_.data_link().propagation_delay();
+        base_ack_delay_ = path_.ack_link().propagation_delay();
+      }
+      path_.data_link().set_propagation_delay(base_data_delay_ * e.scale);
+      path_.ack_link().set_propagation_delay(base_ack_delay_ * e.scale);
+      sim_.schedule_in(e.duration, [this] {
+        if (--rtt_spike_depth_ == 0) {
+          path_.data_link().set_propagation_delay(base_data_delay_);
+          path_.ack_link().set_propagation_delay(base_ack_delay_);
+        }
+      });
+      break;
+    }
+    case FaultKind::kQueueResize: {
+      ++stats_.queue_resizes;
+      path_.data_link().set_queue_limit(e.queue_limit_packets);
+      break;
+    }
+    case FaultKind::kAckOutage: {
+      ++stats_.ack_outages;
+      if (++ack_blackout_depth_ == 1) path_.ack_link().set_blackout(true);
+      sim_.schedule_in(e.duration, [this] {
+        if (--ack_blackout_depth_ == 0) {
+          path_.ack_link().set_blackout(false);
+        }
+      });
+      break;
+    }
+    case FaultKind::kReceiverStall: {
+      ++stats_.receiver_stalls;
+      if (++stall_depth_ == 1) path_.set_ack_stall(true);
+      sim_.schedule_in(e.duration, [this] {
+        if (--stall_depth_ == 0) path_.set_ack_stall(false);
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace prr::net

@@ -1,0 +1,58 @@
+// Replays a FaultSchedule against a live Path: blackouts and ACK outages
+// toggle the link blackout gates, bandwidth shifts rescale the data-link
+// rate, RTT spikes scale both directions' propagation delay and restore
+// it afterwards, queue resizes retarget the data-link queue, and receiver
+// stalls pause ACK generation at the client. All mutations run as
+// ordinary simulator events, so a schedule drawn from a deterministic Rng
+// replays bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "net/fault_schedule.h"
+#include "net/path.h"
+#include "sim/simulator.h"
+
+namespace prr::net {
+
+class FaultInjector {
+ public:
+  struct Stats {
+    uint64_t faults_applied = 0;
+    uint64_t blackouts = 0;
+    uint64_t bandwidth_shifts = 0;
+    uint64_t rtt_spikes = 0;
+    uint64_t queue_resizes = 0;
+    uint64_t ack_outages = 0;
+    uint64_t receiver_stalls = 0;
+  };
+
+  FaultInjector(sim::Simulator& sim, Path& path, FaultSchedule schedule)
+      : sim_(sim), path_(path), schedule_(std::move(schedule)) {}
+
+  // Schedules every fault event. Call once, before (or during) the run.
+  // The injector must outlive the simulation it armed.
+  void arm();
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void apply(const FaultEvent& e);
+
+  sim::Simulator& sim_;
+  Path& path_;
+  FaultSchedule schedule_;
+  Stats stats_;
+  // Nesting depth per toggled state, so overlapping faults of the same
+  // family (e.g. a flap burst overlapping a long blackout) do not clear
+  // each other's gate early.
+  int data_blackout_depth_ = 0;
+  int ack_blackout_depth_ = 0;
+  int stall_depth_ = 0;
+  int rtt_spike_depth_ = 0;
+  sim::Time base_data_delay_;  // restored when the last spike ends
+  sim::Time base_ack_delay_;
+};
+
+}  // namespace prr::net

@@ -1,0 +1,209 @@
+#include "net/fault_schedule.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace prr::net {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBlackout: return "blackout";
+    case FaultKind::kBandwidthShift: return "bw_shift";
+    case FaultKind::kRttSpike: return "rtt_spike";
+    case FaultKind::kQueueResize: return "queue_resize";
+    case FaultKind::kAckOutage: return "ack_outage";
+    case FaultKind::kReceiverStall: return "recv_stall";
+  }
+  return "?";
+}
+
+void FaultSchedule::add(FaultEvent e) {
+  auto it = std::upper_bound(
+      events_.begin(), events_.end(), e,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  events_.insert(it, e);
+}
+
+FaultSchedule& FaultSchedule::merge(const FaultSchedule& other) {
+  for (const auto& e : other.events_) add(e);
+  return *this;
+}
+
+std::string FaultSchedule::describe() const {
+  std::string out;
+  char buf[128];
+  for (const auto& e : events_) {
+    if (!out.empty()) out += ", ";
+    switch (e.kind) {
+      case FaultKind::kBlackout:
+      case FaultKind::kAckOutage:
+      case FaultKind::kReceiverStall:
+        std::snprintf(buf, sizeof buf, "%s@%.0fms/%.0fms", to_string(e.kind),
+                      e.at.ms_d(), e.duration.ms_d());
+        break;
+      case FaultKind::kBandwidthShift:
+        std::snprintf(buf, sizeof buf, "%s@%.0fms x%.2f", to_string(e.kind),
+                      e.at.ms_d(), e.scale);
+        break;
+      case FaultKind::kRttSpike:
+        std::snprintf(buf, sizeof buf, "%s@%.0fms x%.2f/%.0fms",
+                      to_string(e.kind), e.at.ms_d(), e.scale,
+                      e.duration.ms_d());
+        break;
+      case FaultKind::kQueueResize:
+        std::snprintf(buf, sizeof buf, "%s@%.0fms ->%zu pkts",
+                      to_string(e.kind), e.at.ms_d(), e.queue_limit_packets);
+        break;
+    }
+    out += buf;
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+FaultSchedule FaultSchedule::blackout(sim::Time at, sim::Time duration) {
+  FaultSchedule s;
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kBlackout;
+  e.duration = duration;
+  s.add(e);
+  return s;
+}
+
+FaultSchedule FaultSchedule::flap(sim::Time at, int repeats, sim::Time down,
+                                  sim::Time gap) {
+  FaultSchedule s;
+  sim::Time t = at;
+  for (int i = 0; i < repeats; ++i) {
+    FaultEvent e;
+    e.at = t;
+    e.kind = FaultKind::kBlackout;
+    e.duration = down;
+    s.add(e);
+    t = t + down + gap;
+  }
+  return s;
+}
+
+FaultSchedule FaultSchedule::bandwidth_shift(sim::Time at, double scale) {
+  FaultSchedule s;
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kBandwidthShift;
+  e.scale = scale;
+  s.add(e);
+  return s;
+}
+
+FaultSchedule FaultSchedule::rtt_spike(sim::Time at, double scale,
+                                       sim::Time duration) {
+  FaultSchedule s;
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kRttSpike;
+  e.scale = scale;
+  e.duration = duration;
+  s.add(e);
+  return s;
+}
+
+FaultSchedule FaultSchedule::queue_resize(sim::Time at, std::size_t packets) {
+  FaultSchedule s;
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kQueueResize;
+  e.queue_limit_packets = packets;
+  s.add(e);
+  return s;
+}
+
+FaultSchedule FaultSchedule::ack_outage(sim::Time at, sim::Time duration) {
+  FaultSchedule s;
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kAckOutage;
+  e.duration = duration;
+  s.add(e);
+  return s;
+}
+
+FaultSchedule FaultSchedule::receiver_stall(sim::Time at,
+                                            sim::Time duration) {
+  FaultSchedule s;
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kReceiverStall;
+  e.duration = duration;
+  s.add(e);
+  return s;
+}
+
+namespace {
+
+sim::Time uniform_time(sim::Rng& rng, sim::Time lo, sim::Time hi) {
+  if (hi <= lo) return lo;
+  return sim::Time::nanoseconds(static_cast<int64_t>(
+      rng.uniform_int(static_cast<uint64_t>(lo.ns()),
+                      static_cast<uint64_t>(hi.ns()))));
+}
+
+sim::Time uniform_onset(sim::Rng& rng, sim::Time horizon) {
+  return uniform_time(rng, horizon / 8, horizon);
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::random(const FaultProfile& p, sim::Rng rng) {
+  FaultSchedule s;
+  if (rng.bernoulli(p.p_blackout)) {
+    const sim::Time at = uniform_onset(rng, p.horizon);
+    const sim::Time down = uniform_time(rng, p.blackout_min, p.blackout_max);
+    const int repeats =
+        p.flap_repeats <= 1
+            ? 1
+            : static_cast<int>(rng.uniform_int(
+                  1, static_cast<uint64_t>(p.flap_repeats)));
+    s.merge(flap(at, repeats, down, p.flap_gap));
+  }
+  if (rng.bernoulli(p.p_bandwidth_shift)) {
+    FaultEvent e;
+    e.at = uniform_onset(rng, p.horizon);
+    e.kind = FaultKind::kBandwidthShift;
+    e.scale = rng.uniform(p.bandwidth_scale_min, p.bandwidth_scale_max);
+    s.add(e);
+  }
+  if (rng.bernoulli(p.p_rtt_spike)) {
+    FaultEvent e;
+    e.at = uniform_onset(rng, p.horizon);
+    e.kind = FaultKind::kRttSpike;
+    e.scale = rng.uniform(p.rtt_scale_min, p.rtt_scale_max);
+    e.duration = uniform_time(rng, p.rtt_spike_min, p.rtt_spike_max);
+    s.add(e);
+  }
+  if (rng.bernoulli(p.p_queue_resize)) {
+    FaultEvent e;
+    e.at = uniform_onset(rng, p.horizon);
+    e.kind = FaultKind::kQueueResize;
+    e.queue_limit_packets = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<uint64_t>(p.queue_min_packets),
+        static_cast<uint64_t>(p.queue_max_packets)));
+    s.add(e);
+  }
+  if (rng.bernoulli(p.p_ack_outage)) {
+    FaultEvent e;
+    e.at = uniform_onset(rng, p.horizon);
+    e.kind = FaultKind::kAckOutage;
+    e.duration = uniform_time(rng, p.ack_outage_min, p.ack_outage_max);
+    s.add(e);
+  }
+  if (rng.bernoulli(p.p_receiver_stall)) {
+    FaultEvent e;
+    e.at = uniform_onset(rng, p.horizon);
+    e.kind = FaultKind::kReceiverStall;
+    e.duration = uniform_time(rng, p.stall_min, p.stall_max);
+    s.add(e);
+  }
+  return s;
+}
+
+}  // namespace prr::net

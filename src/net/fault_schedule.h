@@ -1,0 +1,114 @@
+// Time-varying path dynamics for chaos experiments: a FaultSchedule is a
+// time-ordered list of path mutations — blackouts and flaps, bandwidth
+// shifts, RTT spikes (route changes), queue resizes, ACK-direction
+// outages, and receiver stalls — that a FaultInjector replays against a
+// live Path. Schedules are plain data: they can be drawn deterministically
+// from a (seed, connection id) Rng, logged alongside a quarantined
+// connection, and replayed bit-for-bit in isolation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace prr::net {
+
+enum class FaultKind {
+  kBlackout,        // data link drops everything for `duration`
+  kBandwidthShift,  // data-link rate *= scale, permanent (route change)
+  kRttSpike,        // both directions' propagation delay *= scale for
+                    // `duration`, then restored (transient reroute)
+  kQueueResize,     // data-link queue limit set to `queue_limit_packets`
+  kAckOutage,       // ack link drops everything for `duration`
+  kReceiverStall,   // client stops ACKing for `duration` (rebuffering /
+                    // process stall); held state is released afterwards
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  sim::Time at;                 // absolute simulation time
+  FaultKind kind = FaultKind::kBlackout;
+  sim::Time duration = sim::Time::zero();  // blackout/spike/outage/stall
+  double scale = 1.0;                      // bandwidth / RTT multiplier
+  std::size_t queue_limit_packets = 0;     // queue resize target
+};
+
+// Per-connection fault intensities for random schedule generation. Each
+// fault family fires independently with the given probability; onset
+// times are uniform in [horizon/8, horizon] so early slow start is
+// exercised too, but a connection is never born mid-fault.
+struct FaultProfile {
+  sim::Time horizon = sim::Time::seconds(8);
+
+  double p_blackout = 0.0;
+  sim::Time blackout_min = sim::Time::milliseconds(300);
+  sim::Time blackout_max = sim::Time::seconds(3);
+  // A blackout draw may flap: repeat up to `flap_repeats` dark periods
+  // separated by `flap_gap`.
+  int flap_repeats = 1;
+  sim::Time flap_gap = sim::Time::milliseconds(500);
+
+  double p_bandwidth_shift = 0.0;
+  double bandwidth_scale_min = 0.1;
+  double bandwidth_scale_max = 2.0;
+
+  double p_rtt_spike = 0.0;
+  double rtt_scale_min = 1.5;
+  double rtt_scale_max = 6.0;
+  sim::Time rtt_spike_min = sim::Time::milliseconds(500);
+  sim::Time rtt_spike_max = sim::Time::seconds(4);
+
+  double p_queue_resize = 0.0;
+  std::size_t queue_min_packets = 4;
+  std::size_t queue_max_packets = 400;
+
+  double p_ack_outage = 0.0;
+  sim::Time ack_outage_min = sim::Time::milliseconds(200);
+  sim::Time ack_outage_max = sim::Time::seconds(2);
+
+  double p_receiver_stall = 0.0;
+  sim::Time stall_min = sim::Time::milliseconds(200);
+  sim::Time stall_max = sim::Time::seconds(2);
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  void add(FaultEvent e);
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  // One-line summary ("blackout@1.2s/800ms, rtt_spike@3s x4.0/2s") for
+  // quarantine records and logs.
+  std::string describe() const;
+
+  // ---- named builders ----
+  static FaultSchedule blackout(sim::Time at, sim::Time duration);
+  // `repeats` dark periods of `down` separated by `gap` (a flapping link).
+  static FaultSchedule flap(sim::Time at, int repeats, sim::Time down,
+                            sim::Time gap);
+  static FaultSchedule bandwidth_shift(sim::Time at, double scale);
+  static FaultSchedule rtt_spike(sim::Time at, double scale,
+                                 sim::Time duration);
+  static FaultSchedule queue_resize(sim::Time at, std::size_t packets);
+  static FaultSchedule ack_outage(sim::Time at, sim::Time duration);
+  static FaultSchedule receiver_stall(sim::Time at, sim::Time duration);
+
+  // Deterministic random schedule: identical (profile, rng seed) pairs
+  // yield identical schedules, the property quarantine replay relies on.
+  static FaultSchedule random(const FaultProfile& profile, sim::Rng rng);
+
+  // Merges another schedule's events into this one (kept time-sorted).
+  FaultSchedule& merge(const FaultSchedule& other);
+
+ private:
+  std::vector<FaultEvent> events_;  // sorted by `at`
+};
+
+}  // namespace prr::net

@@ -36,10 +36,20 @@ void Link::send(Segment seg) {
   });
 }
 
+void Link::set_queue_limit(std::size_t packets) {
+  config_.queue_limit_packets = packets;
+  while (queue_.size() > config_.queue_limit_packets) {
+    queue_.pop_back();
+    ++stats_.dropped_queue;
+  }
+}
+
 void Link::finish_transmission(Segment seg) {
   // Serialization done: propagate (plus any reordering extra delay) and
   // start the next queued segment.
-  if (loss_->should_drop(seg)) {
+  if (blackout_) {
+    ++stats_.dropped_blackout;
+  } else if (loss_->should_drop(seg)) {
     ++stats_.dropped_loss_model;
   } else {
     const sim::Time total = config_.propagation_delay +

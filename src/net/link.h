@@ -1,7 +1,14 @@
-// Point-to-point link: serialization at a fixed rate, propagation delay,
-// and a drop-tail queue bounded in packets. Loss and reordering models
-// plug in at egress (after the queue), so queue overflows and modeled
-// network drops are counted separately.
+// Point-to-point link: serialization at a configurable rate, propagation
+// delay, and a drop-tail queue bounded in packets. Loss and reordering
+// models plug in at egress (after the queue), so queue overflows and
+// modeled network drops are counted separately.
+//
+// Rate, propagation delay, queue limit, and a blackout gate are mutable
+// at runtime (route changes, rebuffering links, transient dead zones —
+// see net/fault_injector.h). Mutations respect in-flight segments: a
+// segment whose serialization already started completes at the old rate,
+// a segment already propagating keeps its old delivery time, and a queue
+// shrink drops the excess from the tail as ordinary queue drops.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +28,7 @@ struct LinkStats {
   uint64_t delivered = 0;
   uint64_t dropped_queue = 0;
   uint64_t dropped_loss_model = 0;
+  uint64_t dropped_blackout = 0;
   uint64_t enqueued = 0;
   uint64_t max_queue_depth = 0;
   uint64_t ce_marked = 0;
@@ -50,6 +58,30 @@ class Link {
   // Enqueues a segment for transmission; drops it if the queue is full.
   void send(Segment seg);
 
+  // ---- runtime path mutation (fault injection) ----
+  // New rate applies to serializations starting after the call; the
+  // segment currently on the wire finishes at the old rate.
+  void set_rate(util::DataRate rate) { config_.rate = rate; }
+  // New delay applies to segments entering propagation after the call;
+  // segments already propagating keep their scheduled delivery times (a
+  // shrinking delay can therefore reorder across the change, exactly as
+  // a route change does).
+  void set_propagation_delay(sim::Time delay) {
+    config_.propagation_delay = delay;
+  }
+  // Shrinking the limit drops the excess from the tail of the queue
+  // (counted as queue drops); growing it simply admits more.
+  void set_queue_limit(std::size_t packets);
+  // While blacked out, every segment reaching the end of serialization is
+  // dropped (counted separately from loss-model drops). Segments already
+  // propagating still arrive; queued segments survive a short blackout.
+  void set_blackout(bool on) { blackout_ = on; }
+
+  util::DataRate rate() const { return config_.rate; }
+  sim::Time propagation_delay() const { return config_.propagation_delay; }
+  std::size_t queue_limit() const { return config_.queue_limit_packets; }
+  bool blackout() const { return blackout_; }
+
   const LinkStats& stats() const { return stats_; }
   std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
 
@@ -64,6 +96,7 @@ class Link {
   std::unique_ptr<ReorderModel> reorder_;
   std::deque<Segment> queue_;
   bool busy_ = false;
+  bool blackout_ = false;
   LinkStats stats_;
 };
 

@@ -39,8 +39,21 @@ void Path::send_data(Segment seg) {
 
 void Path::send_ack(Segment seg) {
   if (client_dead_) return;
+  if (ack_stalled_) {
+    stalled_ack_ = std::move(seg);  // newest ACK supersedes the held one
+    return;
+  }
   if (wire_tap) wire_tap(seg, /*is_ack=*/true, sim_.now());
   ack_mangler_->on_ack(std::move(seg));
+}
+
+void Path::set_ack_stall(bool on) {
+  ack_stalled_ = on;
+  if (!on && stalled_ack_.has_value()) {
+    Segment held = std::move(*stalled_ack_);
+    stalled_ack_.reset();
+    send_ack(std::move(held));
+  }
 }
 
 }  // namespace prr::net

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "net/ack_mangler.h"
 #include "net/link.h"
@@ -52,6 +53,14 @@ class Path {
   void kill_client() { client_dead_ = true; }
   bool client_dead() const { return client_dead_; }
 
+  // Receiver stall (rebuffering, a descheduled client process): while
+  // stalled, ACKs are held instead of forwarded. Because every ACK
+  // snapshots complete receiver state, keeping only the newest held ACK
+  // and releasing it when the stall ends is an exact model — the released
+  // ACK acknowledges everything the suppressed ones did.
+  void set_ack_stall(bool on);
+  bool ack_stalled() const { return ack_stalled_; }
+
  private:
   sim::Simulator& sim_;
   Link::DeliverFn deliver_data_;
@@ -60,6 +69,8 @@ class Path {
   std::unique_ptr<Link> ack_link_;
   std::unique_ptr<AckMangler> ack_mangler_;
   bool client_dead_ = false;
+  bool ack_stalled_ = false;
+  std::optional<Segment> stalled_ack_;
 };
 
 }  // namespace prr::net

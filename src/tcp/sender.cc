@@ -332,6 +332,8 @@ void Sender::on_ack_segment(const net::Segment& ack) {
     if (!tlp_timer_.pending()) rto_timer_.start(rto_est_.rto());
     maybe_arm_tlp();
   }
+
+  if (on_post_ack_hook) on_post_ack_hook(ack);
 }
 
 void Sender::process_in_open(const AckOutcome& out) {

@@ -143,6 +143,10 @@ class Sender {
   std::function<void(uint64_t)> on_una_advance_hook;
   // Fired for every incoming ACK segment before processing.
   std::function<void(const net::Segment&)> on_ack_hook;
+  // Fired after an ACK has been fully processed (state machine, window
+  // regulation, and transmissions done) — the invariant checker's
+  // observation point (tcp/invariants.h).
+  std::function<void(const net::Segment&)> on_post_ack_hook;
   std::function<void()> on_abort_hook;
 
   // ---- inspection (tests, experiments) ----
@@ -155,6 +159,14 @@ class Sender {
   }
   uint64_t ssthresh_bytes() const { return ssthresh_; }
   uint64_t pipe_bytes() const { return effective_pipe(); }
+  uint64_t peer_rwnd() const { return peer_rwnd_; }
+  // Any of the loss-detection timers (RTO, early-retransmit delay, tail
+  // loss probe) still armed — must be false once the flow is finished or
+  // aborted (the no-timer-leak invariant).
+  bool loss_timers_pending() const {
+    return rto_timer_.pending() || er_timer_.pending() ||
+           tlp_timer_.pending();
+  }
   int dupthresh() const { return dupthresh_; }
   bool fack_enabled() const { return fack_enabled_; }
   bool reordering_seen() const { return reordering_seen_; }

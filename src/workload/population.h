@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "http/server_app.h"
+#include "net/fault_schedule.h"
 #include "net/loss_model.h"
 #include "sim/rng.h"
 #include "sim/time.h"
@@ -43,6 +44,11 @@ struct ConnectionSample {
   bool client_dsack = true;
   bool client_abandons = false;  // user walked away: ACKs stop forever
   sim::Time abandon_after = sim::Time::zero();
+
+  // Time-varying path dynamics applied during the connection (chaos
+  // experiments): blackouts, bandwidth shifts, RTT spikes, queue
+  // resizes, ACK outages, receiver stalls. Empty = stationary path.
+  net::FaultSchedule faults;
 
   std::vector<http::ResponseSpec> responses;
 };

@@ -1,8 +1,10 @@
 // Experiment harness: reproducibility, common-random-numbers pairing
-// across arms, and aggregate consistency.
+// across arms, aggregate consistency, and the chaos-mode safety net
+// (invariant checking, quarantine, deterministic replay).
 #include <gtest/gtest.h>
 
 #include "exp/experiment.h"
+#include "exp/scenarios.h"
 #include "workload/web_workload.h"
 
 namespace prr::exp {
@@ -108,6 +110,147 @@ TEST(Experiment, FractionHelpersBounded) {
   EXPECT_LE(r.fraction_time_in_loss_recovery(), 1.0);
   EXPECT_GE(r.fraction_bytes_in_fast_recovery(), 0.0);
   EXPECT_LE(r.fraction_bytes_in_fast_recovery(), 1.0);
+}
+
+// ---- chaos mode: invariant checking, quarantine, replay ----
+
+TEST(ExperimentChaos, CheckingDoesNotPerturbResults) {
+  // The checker only observes: metrics with checking on must be
+  // bit-identical to the plain run.
+  workload::WebWorkload pop;
+  RunOptions plain = small_run(200);
+  RunOptions checked = small_run(200);
+  checked.check_invariants = true;
+  ArmResult a = run_arm(pop, ArmConfig::prr_arm(), plain);
+  ArmResult b = run_arm(pop, ArmConfig::prr_arm(), checked);
+  EXPECT_EQ(a.metrics.data_segments_sent, b.metrics.data_segments_sent);
+  EXPECT_EQ(a.metrics.retransmits_total, b.metrics.retransmits_total);
+  EXPECT_EQ(a.metrics.timeouts_total, b.metrics.timeouts_total);
+  EXPECT_EQ(a.acks_checked, 0u);
+  EXPECT_GT(b.acks_checked, 0u);
+}
+
+TEST(ExperimentChaos, StationarySweepHasNoViolations) {
+  workload::WebWorkload pop;
+  RunOptions opts = small_run(300);
+  opts.check_invariants = true;
+  auto results = run_arms(
+      pop, {ArmConfig::prr_arm(), ArmConfig::rfc3517_arm(),
+            ArmConfig::linux_arm()}, opts);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.invariant_violations, 0u) << r.name;
+    EXPECT_TRUE(r.quarantined.empty()) << r.name;
+    EXPECT_EQ(r.connections_run, 300u) << r.name;
+  }
+}
+
+TEST(ExperimentChaos, ChaosSweepHasNoViolations) {
+  // Every chaos scenario, all three arms: zero violations, zero
+  // quarantined, and every connection still accounted for.
+  workload::WebWorkload base;
+  for (const ChaosSpec& spec : standard_chaos_suite()) {
+    ChaosPopulation pop(base, spec.profile);
+    RunOptions opts = small_run(60);
+    opts.check_invariants = true;
+    opts.scenario = spec.name;
+    Experiment experiment(pop, opts);
+    auto results = experiment.run({ArmConfig::prr_arm(),
+                                   ArmConfig::rfc3517_arm(),
+                                   ArmConfig::linux_arm()});
+    for (const auto& r : results) {
+      for (const auto& rec : r.quarantined) {
+        ADD_FAILURE() << spec.name << ": " << rec.summary();
+      }
+      EXPECT_EQ(r.invariant_violations, 0u) << spec.name << "/" << r.name;
+      EXPECT_EQ(r.connections_run, 60u) << spec.name << "/" << r.name;
+      EXPECT_GT(r.acks_checked, 0u) << spec.name << "/" << r.name;
+    }
+  }
+}
+
+TEST(ExperimentChaos, ChaosPopulationPreservesBaseSample) {
+  // The fault draw must come from the reserved sub-stream: the base part
+  // of the sample (workload, network) is bit-identical with and without
+  // chaos decoration.
+  workload::WebWorkload base;
+  ChaosPopulation chaotic(base, ChaosSpec::everything().profile);
+  for (uint64_t id = 0; id < 50; ++id) {
+    sim::Rng rng = sim::Rng(9).fork(id).fork(100);
+    workload::ConnectionSample plain = base.sample(rng);
+    workload::ConnectionSample chaos = chaotic.sample(rng);
+    EXPECT_EQ(plain.rtt, chaos.rtt);
+    EXPECT_EQ(plain.bandwidth.bits_per_second(), chaos.bandwidth.bits_per_second());
+    EXPECT_EQ(plain.responses.size(), chaos.responses.size());
+    for (std::size_t i = 0; i < plain.responses.size(); ++i) {
+      EXPECT_EQ(plain.responses[i].bytes, chaos.responses[i].bytes);
+    }
+    EXPECT_TRUE(plain.faults.empty());
+  }
+}
+
+TEST(ExperimentChaos, InjectedViolationIsQuarantinedAndRunContinues) {
+  workload::WebWorkload pop;
+  RunOptions opts = small_run(50);
+  opts.check_invariants = true;
+  opts.scenario = "injection-test";
+  opts.inject_violation_connection = 17;
+  opts.inject_violation_on_ack = 2;
+  Experiment experiment(pop, opts);
+  ArmResult r = experiment.run(ArmConfig::prr_arm());
+
+  // Graceful degradation: all 50 connections ran despite the trip.
+  EXPECT_EQ(r.connections_run, 50u);
+  ASSERT_EQ(r.quarantined.size(), 1u);
+  const QuarantineRecord& rec = r.quarantined[0];
+  EXPECT_EQ(rec.connection_id, 17u);
+  EXPECT_EQ(rec.seed, opts.seed);
+  EXPECT_EQ(rec.arm_name, "PRR");
+  EXPECT_EQ(rec.scenario, "injection-test");
+  ASSERT_EQ(rec.violations.size(), 1u);
+  EXPECT_EQ(rec.violations[0].kind, tcp::InvariantKind::kInjected);
+  EXPECT_NE(rec.summary().find("injected"), std::string::npos);
+}
+
+TEST(ExperimentChaos, ReplayReproducesQuarantinedConnection) {
+  workload::WebWorkload base;
+  ChaosPopulation pop(base, ChaosSpec::everything().profile);
+  RunOptions opts = small_run(40);
+  opts.check_invariants = true;
+  opts.inject_violation_connection = 23;
+  opts.inject_violation_on_ack = 4;
+  Experiment experiment(pop, opts);
+  ArmConfig arm = ArmConfig::prr_arm();
+  ArmResult r = experiment.run(arm);
+  ASSERT_EQ(r.quarantined.size(), 1u);
+
+  ReplayResult replay = experiment.replay(arm, r.quarantined[0]);
+  EXPECT_TRUE(replay.reproduced(r.quarantined[0]));
+  ASSERT_EQ(replay.violations.size(), 1u);
+  // Deterministic: same kind at the same simulated instant.
+  EXPECT_EQ(replay.violations[0].kind, r.quarantined[0].violations[0].kind);
+  EXPECT_EQ(replay.violations[0].at, r.quarantined[0].violations[0].at);
+  EXPECT_EQ(replay.violations[0].detail,
+            r.quarantined[0].violations[0].detail);
+
+  // Replaying twice is also deterministic.
+  ReplayResult again = experiment.replay(arm, r.quarantined[0]);
+  EXPECT_EQ(again.violations.size(), replay.violations.size());
+  EXPECT_EQ(again.acks_checked, replay.acks_checked);
+}
+
+TEST(ExperimentChaos, ReplayOfHealthyConnectionFindsNothing) {
+  workload::WebWorkload pop;
+  RunOptions opts = small_run(10);
+  Experiment experiment(pop, opts);
+  QuarantineRecord healthy;
+  healthy.seed = opts.seed;
+  healthy.connection_id = 3;
+  healthy.arm_name = "PRR";
+  ReplayResult replay = experiment.replay(ArmConfig::prr_arm(), healthy);
+  EXPECT_TRUE(replay.violations.empty());
+  EXPECT_TRUE(replay.exception.empty());
+  // A record with no recorded failure cannot be "reproduced".
+  EXPECT_FALSE(replay.reproduced(healthy));
 }
 
 }  // namespace
