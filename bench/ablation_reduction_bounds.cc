@@ -55,6 +55,7 @@ int main() {
   exp::RunOptions opts;
   opts.connections = 8000;
   opts.seed = 21;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
 
   std::vector<exp::ArmConfig> arms;
   for (auto [name, bound] :

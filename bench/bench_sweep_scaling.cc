@@ -1,0 +1,153 @@
+// Wall-clock scaling of the parallel experiment harness: a fixed
+// table1-style sweep (Web population, the paper's standard three arms)
+// run at threads in {1, 2, 4, 8}, reported as connections/sec and
+// speedup vs the serial run, plus a cross-check that every thread count
+// produced identical aggregates. Emits machine-readable BENCH_SWEEP.json
+// in the working directory so future PRs have a perf trajectory to
+// compare against.
+//
+// Env overrides: SWEEP_CONNECTIONS (default 2000), SWEEP_THREADS
+// (comma-separated list, default "1,2,4,8"), BENCH_SWEEP_JSON (output
+// path, default "BENCH_SWEEP.json").
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "workload/web_workload.h"
+
+using namespace prr;
+
+namespace {
+
+struct Point {
+  int threads = 1;
+  double seconds = 0;
+  double conns_per_sec = 0;
+  double speedup = 1.0;
+};
+
+std::vector<int> parse_thread_list(const char* spec) {
+  std::vector<int> out;
+  std::string cur;
+  for (const char* p = spec;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!cur.empty()) out.push_back(std::atoi(cur.c_str()));
+      cur.clear();
+      if (*p == '\0') break;
+    } else {
+      cur += *p;
+    }
+  }
+  return out;
+}
+
+uint64_t fingerprint(const std::vector<exp::ArmResult>& results) {
+  // Cheap order-sensitive digest of the aggregates that must be thread-
+  // count invariant.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& r : results) {
+    mix(r.metrics.data_segments_sent);
+    mix(r.metrics.retransmits_total);
+    mix(r.metrics.timeouts_total);
+    mix(r.total_workload_bytes);
+    mix(static_cast<uint64_t>(r.recovery_log.count()));
+    mix(static_cast<uint64_t>(r.latency.responses().size()));
+    mix(static_cast<uint64_t>(r.total_network_transmit_time.ns()));
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Sweep scaling: parallel experiment harness",
+      "wall-clock of a fixed table1-style 3-arm sweep at several worker "
+      "counts; aggregates are byte-identical at every thread count");
+
+  const char* conn_env = std::getenv("SWEEP_CONNECTIONS");
+  const char* threads_env = std::getenv("SWEEP_THREADS");
+  const char* json_env = std::getenv("BENCH_SWEEP_JSON");
+  const int connections = conn_env ? std::atoi(conn_env) : 2000;
+  const std::vector<int> thread_counts =
+      parse_thread_list(threads_env ? threads_env : "1,2,4,8");
+  const std::string json_path = json_env ? json_env : "BENCH_SWEEP.json";
+
+  workload::WebWorkload pop;
+  const std::vector<exp::ArmConfig> arms = bench::three_way_arms();
+  exp::RunOptions opts;
+  opts.connections = connections;
+  opts.seed = 20110501;
+
+  std::vector<Point> points;
+  uint64_t serial_digest = 0;
+  double serial_seconds = 0;
+  bool digests_match = true;
+  for (int threads : thread_counts) {
+    opts.threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<exp::ArmResult> results =
+        exp::run_arms(pop, arms, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Point p;
+    p.threads = threads;
+    p.seconds = std::chrono::duration<double>(t1 - t0).count();
+    const double total_conns =
+        static_cast<double>(connections) * static_cast<double>(arms.size());
+    p.conns_per_sec = p.seconds > 0 ? total_conns / p.seconds : 0;
+
+    const uint64_t digest = fingerprint(results);
+    if (points.empty()) {
+      serial_digest = digest;
+      serial_seconds = p.seconds;
+    } else if (digest != serial_digest) {
+      digests_match = false;
+      std::fprintf(stderr,
+                   "FAIL: aggregates at threads=%d differ from serial\n",
+                   threads);
+    }
+    p.speedup = p.seconds > 0 ? serial_seconds / p.seconds : 0;
+    points.push_back(p);
+    std::printf("threads=%-2d  %8.2fs  %9.1f conns/sec  speedup %.2fx\n",
+                threads, p.seconds, p.conns_per_sec, p.speedup);
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"sweep_scaling\",\n"
+               "  \"connections\": %d,\n"
+               "  \"arms\": %zu,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"aggregates_identical\": %s,\n"
+               "  \"points\": [\n",
+               connections, arms.size(),
+               std::thread::hardware_concurrency(),
+               digests_match ? "true" : "false");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"seconds\": %.4f, "
+                 "\"conns_per_sec\": %.1f, \"speedup_vs_serial\": %.3f}%s\n",
+                 p.threads, p.seconds, p.conns_per_sec, p.speedup,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return digests_match ? 0 : 1;
+}

@@ -42,6 +42,7 @@ int main() {
   exp::RunOptions opts;
   opts.connections = 300;
   opts.seed = 23;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
 
   util::Table t({"arm", "retransmission rate", "FR events", "CWR events",
                  "RTOs", "transmit time [s/conn]"});

@@ -44,6 +44,7 @@ int main() {
   exp::RunOptions opts;
   opts.connections = 8000;
   opts.seed = 17;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
 
   std::vector<exp::ArmConfig> arms;
   for (auto [name, kind, paced] :

@@ -23,6 +23,7 @@ int main() {
   exp::RunOptions opts;
   opts.connections = 12000;
   opts.seed = 14;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
 
   std::vector<exp::ArmConfig> arms;
   exp::ArmConfig base = exp::ArmConfig::prr_arm();

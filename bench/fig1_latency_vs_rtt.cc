@@ -29,6 +29,7 @@ int main() {
   exp::RunOptions opts;
   opts.connections = 20000;
   opts.seed = 101;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
 
   exp::ArmResult r = exp::run_arm(pop, exp::ArmConfig::linux_arm(), opts);
 

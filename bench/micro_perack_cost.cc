@@ -105,6 +105,34 @@ void BM_ScoreboardPipe(benchmark::State& state) {
 }
 BENCHMARK(BM_ScoreboardPipe)->Arg(32)->Arg(128)->Arg(512);
 
+// The other per-ACK scoreboard queries (sacked/lost tallies): like
+// pipe(), these must be O(1) — flat across window sizes.
+void BM_ScoreboardCounters(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  prr::tcp::Scoreboard sb(kMss);
+  sb.reset(0);
+  for (int i = 0; i < window; ++i) {
+    sb.on_transmit(static_cast<uint64_t>(i) * kMss,
+                   static_cast<uint64_t>(i + 1) * kMss,
+                   prr::sim::Time::zero());
+  }
+  // SACK the upper half so every tally is non-trivial.
+  prr::net::Segment ack;
+  ack.is_ack = true;
+  ack.ack = 0;
+  ack.sacks.push_back({static_cast<uint64_t>(window / 2) * kMss,
+                       static_cast<uint64_t>(window) * kMss});
+  sb.on_ack(ack, prr::sim::Time::zero(), true);
+  sb.update_loss_marks(3, true, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sb.total_sacked_bytes());
+    benchmark::DoNotOptimize(sb.sacked_segment_count());
+    benchmark::DoNotOptimize(sb.lost_segment_count());
+    benchmark::DoNotOptimize(sb.any_sacked());
+  }
+}
+BENCHMARK(BM_ScoreboardCounters)->Arg(32)->Arg(128)->Arg(512);
+
 // Full connection (100 kB over a clean 10 Mbps / 40 ms path), with the
 // invariant checker off (Arg 0) vs attached (Arg 1). Arg 0 must match
 // the pre-checker baseline: an unconstructed checker adds zero work.

@@ -89,6 +89,7 @@ int main() {
     exp::RunOptions opts;
     opts.connections = 5000;
     opts.seed = 31;
+    opts.threads = 0;  // parallel sweep: byte-identical to serial
     auto results = exp::run_arms(spop, bench::three_way_arms(), opts);
     for (const auto& r : results) {
       t.add_row({imp.name, r.name,
@@ -120,6 +121,7 @@ int main() {
     exp::RunOptions opts;
     opts.connections = 600;
     opts.seed = 97;
+    opts.threads = 0;  // parallel sweep: byte-identical to serial
     opts.check_invariants = true;
     opts.scenario = spec.name;
 

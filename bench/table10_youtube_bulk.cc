@@ -24,6 +24,7 @@ int main() {
   exp::RunOptions opts;
   opts.connections = 600;
   opts.seed = 10;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
   opts.per_connection_limit = sim::Time::seconds(600);
   auto results = exp::run_arms(pop, bench::three_way_arms(), opts);
 

@@ -49,6 +49,7 @@ int main() {
   exp::RunOptions opts;
   opts.connections = 15000;
   opts.seed = 6;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
   auto results = exp::run_arms(pop, arms, opts);
   const auto& base = results[0].metrics;
 

@@ -20,6 +20,7 @@ int main() {
   exp::RunOptions opts;
   opts.connections = 3000;
   opts.seed = 20110501;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
 
   exp::ArmResult r = exp::run_arm(pop, exp::ArmConfig::linux_arm(), opts);
 

@@ -65,6 +65,7 @@ int main() {
   exp::RunOptions web_opts;
   web_opts.connections = 8000;
   web_opts.seed = 2;
+  web_opts.threads = 0;  // parallel sweep: byte-identical to serial
   exp::ArmResult dc1 =
       exp::run_arm(workload::WebWorkload(), exp::ArmConfig::linux_arm(),
                    web_opts);
@@ -75,6 +76,7 @@ int main() {
   exp::RunOptions video_opts;
   video_opts.connections = 400;
   video_opts.seed = 3;
+  video_opts.threads = 0;  // parallel sweep: byte-identical to serial
   video_opts.per_connection_limit = sim::Time::seconds(600);
   exp::ArmConfig video_arm = exp::ArmConfig::linux_arm();
   video_arm.max_rto_backoffs = 15;  // DC2 servers had a higher cap

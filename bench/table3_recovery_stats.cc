@@ -58,6 +58,7 @@ int main() {
   exp::RunOptions web_opts;
   web_opts.connections = 8000;
   web_opts.seed = 2;
+  web_opts.threads = 0;  // parallel sweep: byte-identical to serial
   exp::ArmResult dc1 =
       exp::run_arm(workload::WebWorkload(), exp::ArmConfig::linux_arm(),
                    web_opts);
@@ -67,6 +68,7 @@ int main() {
   exp::RunOptions video_opts;
   video_opts.connections = 400;
   video_opts.seed = 3;
+  video_opts.threads = 0;  // parallel sweep: byte-identical to serial
   exp::ArmResult dc2 = exp::run_arm(workload::VideoWorkload(),
                                     exp::ArmConfig::linux_arm(), video_opts);
   const char* dc2_paper[5] = {"2.93", "4%", "1.4%", "9%", "3.1%"};

@@ -22,6 +22,7 @@ int main() {
   exp::RunOptions opts;
   opts.connections = 12000;
   opts.seed = 5;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
   exp::ArmResult r = exp::run_arm(pop, exp::ArmConfig::prr_arm(), opts);
   const auto& log = r.recovery_log;
 

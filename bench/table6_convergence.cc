@@ -21,6 +21,7 @@ int main() {
   exp::RunOptions opts;
   opts.connections = 12000;
   opts.seed = 5;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
   exp::ArmResult r = exp::run_arm(pop, exp::ArmConfig::prr_arm(), opts);
   util::Samples s = r.recovery_log.cwnd_minus_ssthresh_exit_segs();
 

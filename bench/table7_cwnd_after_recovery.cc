@@ -20,6 +20,7 @@ int main() {
   exp::RunOptions opts;
   opts.connections = 12000;
   opts.seed = 7;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
   auto results = exp::run_arms(pop, bench::three_way_arms(), opts);
 
   const std::vector<double> qs = {10, 25, 50, 75, 90, 95, 99};

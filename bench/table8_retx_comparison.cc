@@ -37,6 +37,7 @@ int main() {
   exp::RunOptions opts;
   opts.connections = 12000;
   opts.seed = 7;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
   auto results = exp::run_arms(pop, bench::three_way_arms(), opts);
   const auto& linux_arm = results[0].metrics;
   const auto& rfc = results[1].metrics;

@@ -19,6 +19,7 @@ void run_service(const char* name, const workload::WebWorkloadParams& p,
   exp::RunOptions opts;
   opts.connections = 12000;
   opts.seed = seed;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
   auto results = exp::run_arms(pop, bench::three_way_arms(), opts);
 
   const std::vector<double> qs = {25, 50, 90, 99};

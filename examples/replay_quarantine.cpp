@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   opts.connections = 150;
   opts.seed = 7;
   opts.check_invariants = true;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
   opts.scenario = spec.name;
   if (inject) {
     opts.inject_violation_connection = 7;

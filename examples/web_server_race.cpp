@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   exp::RunOptions opts;
   opts.connections = connections;
   opts.seed = seed;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
   auto results = exp::run_arms(
       pop,
       {exp::ArmConfig::linux_arm(), exp::ArmConfig::rfc3517_arm(),

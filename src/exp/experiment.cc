@@ -1,9 +1,13 @@
 #include "exp/experiment.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <exception>
 #include <memory>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "net/fault_injector.h"
 #include "net/loss_model.h"
@@ -12,6 +16,21 @@
 #include "tcp/connection.h"
 
 namespace prr::exp {
+
+void ArmResult::merge(ArmResult&& shard) {
+  metrics.merge(shard.metrics);
+  recovery_log.merge(shard.recovery_log);
+  latency.merge(shard.latency);
+  total_network_transmit_time += shard.total_network_transmit_time;
+  total_loss_recovery_time += shard.total_loss_recovery_time;
+  connections_run += shard.connections_run;
+  total_workload_bytes += shard.total_workload_bytes;
+  quarantined.insert(quarantined.end(),
+                     std::make_move_iterator(shard.quarantined.begin()),
+                     std::make_move_iterator(shard.quarantined.end()));
+  invariant_violations += shard.invariant_violations;
+  acks_checked += shard.acks_checked;
+}
 
 double ArmResult::fraction_bytes_in_fast_recovery() const {
   uint64_t in_fr = 0;
@@ -191,15 +210,13 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
   return outcome;
 }
 
-}  // namespace
-
-ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,
-                  const RunOptions& opts) {
-  ArmResult result;
-  result.name = arm.name;
-
-  for (int i = 0; i < opts.connections; ++i) {
-    const uint64_t id = static_cast<uint64_t>(i);
+// Runs connections [begin, end) of one arm into `result`, with the
+// quarantine net around each — the single code path both the serial run
+// and every worker chunk execute, so the two are the same computation.
+void run_connection_range(const workload::Population& pop,
+                          const ArmConfig& arm, const RunOptions& opts,
+                          uint64_t begin, uint64_t end, ArmResult& result) {
+  for (uint64_t id = begin; id < end; ++id) {
     ConnectionOutcome outcome;
     std::string exception;
     try {
@@ -225,6 +242,58 @@ ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,
     result.invariant_violations += rec.violations.size();
     result.quarantined.push_back(std::move(rec));
   }
+}
+
+int resolve_threads(const RunOptions& opts) {
+  int t = opts.threads;
+  if (t == 0) {
+    t = static_cast<int>(std::thread::hardware_concurrency());
+    if (t <= 0) t = 1;  // hardware_concurrency() may be unknowable
+  }
+  return std::max(1, std::min(t, opts.connections));
+}
+
+}  // namespace
+
+ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,
+                  const RunOptions& opts) {
+  ArmResult result;
+  result.name = arm.name;
+  const auto n = static_cast<uint64_t>(std::max(opts.connections, 0));
+  const int threads = resolve_threads(opts);
+
+  if (threads == 1) {
+    run_connection_range(pop, arm, opts, 0, n, result);
+    return result;
+  }
+
+  // Contiguous chunks of connection ids, claimed dynamically (connection
+  // costs vary wildly, so static block partitioning would load-imbalance).
+  // Each chunk accumulates into its own ArmResult shard; shards are merged
+  // in chunk order afterwards, which is ascending connection-id order —
+  // the serial aggregation, bit for bit.
+  const uint64_t chunk_size = std::max<uint64_t>(
+      1, n / (static_cast<uint64_t>(threads) * 8));
+  const uint64_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  std::vector<ArmResult> shards(num_chunks);
+  std::atomic<uint64_t> next_chunk{0};
+
+  auto worker = [&] {
+    for (;;) {
+      const uint64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const uint64_t begin = c * chunk_size;
+      const uint64_t end = std::min(n, begin + chunk_size);
+      run_connection_range(pop, arm, opts, begin, end, shards[c]);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+
+  for (auto& shard : shards) result.merge(std::move(shard));
   return result;
 }
 

@@ -4,6 +4,12 @@
 // paper table consumes. The simulator analogue of the paper's server-
 // binned A/B framework (§5.1).
 //
+// Sweeps shard connections across a worker pool (RunOptions::threads):
+// every connection's entire sample path derives from (seed, id), so
+// workers share no state, and per-chunk ArmResult accumulators merged in
+// connection-id order make the aggregates byte-identical to a serial run
+// at any thread count.
+//
 // Production-scale safety net: with `RunOptions::check_invariants` every
 // connection runs under a tcp::InvariantChecker, and a connection that
 // trips an invariant or throws is *quarantined* — its (seed, connection
@@ -94,6 +100,12 @@ struct ArmResult {
   uint64_t invariant_violations = 0;  // total across the arm
   uint64_t acks_checked = 0;          // ACKs the checker examined
 
+  // Folds a shard covering a higher connection-id range into this one.
+  // The parallel harness merges shards in ascending connection-id order,
+  // so every aggregate (counter sums, event/response/quarantine
+  // sequences) is byte-identical to the serial run at any thread count.
+  void merge(ArmResult&& shard);
+
   double retransmission_rate() const {
     return metrics.data_segments_sent == 0
                ? 0
@@ -119,6 +131,13 @@ struct RunOptions {
   uint64_t seed = 42;
   // Wall-clock cap per connection (simulated time).
   sim::Time per_connection_limit = sim::Time::seconds(600);
+
+  // Worker threads for the sweep. 1 = serial (the default), 0 = hardware
+  // concurrency, N = exactly N workers. Results are byte-identical at any
+  // value: each connection's sample path derives only from (seed, id), so
+  // workers share nothing, and shard accumulators are merged back in
+  // connection-id order.
+  int threads = 1;
 
   // Attach a tcp::InvariantChecker to every connection and quarantine
   // the ones that trip it. Off by default: the stationary experiment hot

@@ -8,26 +8,22 @@ namespace prr::sim {
 EventId EventQueue::schedule(Time at, std::function<void()> fn) {
   const EventId id = next_id_++;
   heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  pending_.insert(id);
   return id;
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id == kInvalidEventId) return;
-  cancelled_.insert(id);
+  pending_.erase(id);  // no-op for fired/cancelled/never-issued ids
+  // With nothing pending, any remaining heap entries are dead weight from
+  // cancellations — release them now rather than waiting for lazy pops
+  // that may never come.
+  if (pending_.empty() && !heap_.empty()) heap_ = {};
 }
 
 void EventQueue::drop_cancelled_head() const {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
+  while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
     heap_.pop();
   }
-}
-
-bool EventQueue::empty() const {
-  drop_cancelled_head();
-  return heap_.empty();
 }
 
 Time EventQueue::next_time() const {
@@ -42,6 +38,7 @@ Time EventQueue::run_next() {
   // so copy the callable instead (events are small closures).
   Entry e = heap_.top();
   heap_.pop();
+  pending_.erase(e.id);
   e.fn();
   return e.at;
 }

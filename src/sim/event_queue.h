@@ -21,12 +21,14 @@ class EventQueue {
   // scheduling order. Returns an id usable with cancel().
   EventId schedule(Time at, std::function<void()> fn);
 
-  // Cancels a pending event. Cancelling an already-fired or invalid id is
-  // a no-op (lazy deletion: the entry is skipped when popped).
+  // Cancels a pending event. Cancelling an already-fired, already-
+  // cancelled, never-issued, or invalid id is a true no-op: no state is
+  // retained for it (lazy deletion: the heap entry, if any, is skipped
+  // when popped).
   void cancel(EventId id);
 
-  bool empty() const;
-  std::size_t size() const { return heap_.size() - cancelled_.size(); }
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
   Time next_time() const;
 
   // Pops and runs the earliest event; returns its time. Precondition:
@@ -50,7 +52,12 @@ class EventQueue {
   void drop_cancelled_head() const;
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
+  // Ids of events scheduled but not yet fired or cancelled: a heap entry
+  // is live iff its id is in here. Tracking liveness (rather than a
+  // cancellation set) bounds memory by the number of pending events —
+  // cancelling fired or bogus ids cannot grow anything — and makes
+  // size()/empty() exact.
+  mutable std::unordered_set<EventId> pending_;
   uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
 };

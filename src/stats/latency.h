@@ -33,6 +33,9 @@ class LatencyTracker {
  public:
   void add(ResponseRecord r) { responses_.push_back(r); }
   void append(const LatencyTracker& other);
+  // Deterministic shard merge: merged in connection-id order by the
+  // parallel harness, reproducing the serial response sequence exactly.
+  void merge(const LatencyTracker& other) { append(other); }
   const std::vector<ResponseRecord>& responses() const { return responses_; }
 
   enum class Filter { kAll, kWithRetransmit, kWithoutRetransmit };

@@ -47,6 +47,10 @@ class RecoveryLog {
  public:
   void add(RecoveryEvent e) { events_.push_back(e); }
   void append(const RecoveryLog& other);
+  // Deterministic shard merge: callers merge shards in connection-id
+  // order, so the concatenated event list is byte-identical to a serial
+  // run (events within a shard are already in emission order).
+  void merge(const RecoveryLog& other) { append(other); }
   const std::vector<RecoveryEvent>& events() const { return events_; }
   std::size_t count() const { return events_.size(); }
 

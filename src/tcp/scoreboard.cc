@@ -5,10 +5,80 @@
 
 namespace prr::tcp {
 
+// --- incremental accounting -------------------------------------------
+// Every flag flip goes through one of these helpers; each is idempotent,
+// so call sites never need to pre-check the flag to keep tallies right.
+
+void Scoreboard::set_sacked(SegRecord& r) {
+  if (r.sacked) return;
+  sacked_bytes_ += r.len();
+  ++sacked_segs_;
+  if (r.lost) {
+    lost_bytes_ -= r.len();
+    --lost_segs_;
+  }
+  if (r.retransmitted) retransmitted_in_flight_bytes_ -= r.len();
+  r.sacked = true;
+}
+
+void Scoreboard::set_lost(SegRecord& r) {
+  if (r.lost) return;
+  if (!r.sacked) {
+    lost_bytes_ += r.len();
+    ++lost_segs_;
+  }
+  r.lost = true;
+}
+
+void Scoreboard::clear_lost(SegRecord& r) {
+  if (!r.lost) return;
+  if (!r.sacked) {
+    lost_bytes_ -= r.len();
+    --lost_segs_;
+  }
+  r.lost = false;
+}
+
+void Scoreboard::set_retransmitted(SegRecord& r) {
+  if (!r.retransmitted && !r.sacked) {
+    retransmitted_in_flight_bytes_ += r.len();
+  }
+  r.retransmitted = true;
+}
+
+void Scoreboard::clear_retransmitted(SegRecord& r) {
+  if (r.retransmitted && !r.sacked) {
+    retransmitted_in_flight_bytes_ -= r.len();
+  }
+  r.retransmitted = false;
+}
+
+void Scoreboard::account_remove(const SegRecord& r) {
+  total_bytes_ -= r.len();
+  if (r.sacked) {
+    sacked_bytes_ -= r.len();
+    --sacked_segs_;
+    return;
+  }
+  if (r.lost) {
+    lost_bytes_ -= r.len();
+    --lost_segs_;
+  }
+  if (r.retransmitted) retransmitted_in_flight_bytes_ -= r.len();
+}
+
+// ----------------------------------------------------------------------
+
 void Scoreboard::reset(uint64_t snd_una) {
   snd_una_ = snd_una;
   highest_sacked_end_ = snd_una;
   records_.clear();
+  total_bytes_ = 0;
+  sacked_bytes_ = 0;
+  lost_bytes_ = 0;
+  retransmitted_in_flight_bytes_ = 0;
+  sacked_segs_ = 0;
+  lost_segs_ = 0;
 }
 
 void Scoreboard::on_transmit(uint64_t start, uint64_t end, sim::Time now) {
@@ -19,20 +89,26 @@ void Scoreboard::on_transmit(uint64_t start, uint64_t end, sim::Time now) {
   r.end = end;
   r.first_tx_time = now;
   r.last_tx_time = now;
+  total_bytes_ += r.len();
   records_.push_back(r);
 }
 
 SegRecord* Scoreboard::find(uint64_t start) {
-  for (auto& r : records_)
-    if (r.start <= start && start < r.end) return &r;
-  return nullptr;
+  // records_ is sorted by start and non-overlapping: binary-search the
+  // last record starting at or below `start`, then check containment.
+  auto it = std::upper_bound(
+      records_.begin(), records_.end(), start,
+      [](uint64_t v, const SegRecord& r) { return v < r.start; });
+  if (it == records_.begin()) return nullptr;
+  --it;
+  return (it->start <= start && start < it->end) ? &*it : nullptr;
 }
 
 void Scoreboard::on_retransmit(uint64_t start, sim::Time now,
                                uint64_t snd_nxt, bool fast) {
   SegRecord* r = find(start);
   assert(r != nullptr);
-  r->retransmitted = true;
+  set_retransmitted(*r);
   r->ever_retransmitted = true;
   r->last_retx_was_fast = fast;
   ++r->retrans_count;
@@ -77,6 +153,7 @@ AckOutcome Scoreboard::on_ack(const net::Segment& ack, sim::Time now,
       } else {
         out.acked_rexmit_tx_time = r.last_tx_time;
       }
+      account_remove(r);
       records_.pop_front();
     }
     // Partial-record coverage cannot happen (ACKs land on segment
@@ -95,7 +172,7 @@ AckOutcome Scoreboard::on_ack(const net::Segment& ack, sim::Time now,
     for (auto& r : records_) {
       if (r.sacked) continue;
       if (blk.start <= r.start && r.end <= blk.end) {
-        r.sacked = true;
+        set_sacked(r);
         out.newly_sacked_bytes += r.len();
         any_newly_sacked = true;
         max_newly_sacked_start = std::max(max_newly_sacked_start, r.start);
@@ -105,7 +182,7 @@ AckOutcome Scoreboard::on_ack(const net::Segment& ack, sim::Time now,
               static_cast<int>((prior_fack - r.start) / mss_);
           out.reorder_distance_segs =
               std::max(out.reorder_distance_segs, std::max(dist, 1));
-          r.lost = false;  // it clearly is not lost
+          clear_lost(r);  // it clearly is not lost
         }
       }
     }
@@ -121,8 +198,8 @@ AckOutcome Scoreboard::on_ack(const net::Segment& ack, sim::Time now,
       if (r.sacked || !r.retransmitted) continue;
       if (r.retrans_marker > 0 &&
           max_newly_sacked_start >= r.retrans_marker) {
-        r.retransmitted = false;  // that copy is gone; eligible again
-        r.lost = true;
+        clear_retransmitted(r);  // that copy is gone; eligible again
+        set_lost(r);
         ++out.lost_retransmits_detected;
         if (r.last_retx_was_fast) ++out.lost_fast_retransmits_detected;
       }
@@ -152,17 +229,24 @@ int Scoreboard::update_loss_marks(int dupthresh, bool use_fack,
     for (auto& r : records_) {
       if (r.start >= mark_below) break;
       if (r.sacked || r.lost) continue;
-      r.lost = true;
+      set_lost(r);
       ++newly_lost;
     }
     return newly_lost;
   }
+  // RFC 6675 IsLost: more than (dupthresh-1)*SMSS SACKed bytes above the
+  // record. One forward pass: SACKed bytes above r = total SACKed minus
+  // the SACKed bytes accumulated below it (records_ is start-sorted).
+  const uint64_t thresh = static_cast<uint64_t>(dupthresh - 1) * mss_;
+  uint64_t sacked_below = 0;
   for (auto& r : records_) {
-    if (r.sacked || r.lost) continue;
-    // RFC 6675 IsLost: more than (dupthresh-1)*SMSS SACKed bytes above.
-    if (sacked_bytes_above(r.start) >
-        static_cast<uint64_t>(dupthresh - 1) * mss_) {
-      r.lost = true;
+    if (r.sacked) {
+      sacked_below += r.len();
+      continue;
+    }
+    if (r.lost) continue;
+    if (sacked_bytes_ - sacked_below > thresh) {
+      set_lost(r);
       ++newly_lost;
     }
   }
@@ -172,35 +256,23 @@ int Scoreboard::update_loss_marks(int dupthresh, bool use_fack,
 void Scoreboard::on_timeout_mark_all_lost() {
   for (auto& r : records_) {
     if (r.sacked) continue;
-    r.lost = true;
-    r.retransmitted = false;  // everything is slated for retransmission
+    set_lost(r);
+    clear_retransmitted(r);  // everything is slated for retransmission
   }
 }
 
 void Scoreboard::clear_unretransmitted_loss_marks() {
   for (auto& r : records_) {
-    if (r.lost && !r.retransmitted) r.lost = false;
+    if (r.lost && !r.retransmitted) clear_lost(r);
   }
 }
 
 void Scoreboard::mark_first_hole_lost() {
   for (auto& r : records_) {
     if (r.sacked) continue;
-    r.lost = true;
+    set_lost(r);
     return;
   }
-}
-
-uint64_t Scoreboard::pipe() const {
-  // RFC 3517 SetPipe: for each octet not SACKed, count it if not lost
-  // (still in flight) and count it again if retransmitted.
-  uint64_t pipe = 0;
-  for (const auto& r : records_) {
-    if (r.sacked) continue;
-    if (!r.lost) pipe += r.len();
-    if (r.retransmitted) pipe += r.len();
-  }
-  return pipe;
 }
 
 bool Scoreboard::first_hole_lost() const {
@@ -223,38 +295,6 @@ const SegRecord* Scoreboard::last_unsacked() const {
     if (!it->sacked) return &*it;
   }
   return nullptr;
-}
-
-bool Scoreboard::any_sacked() const {
-  for (const auto& r : records_)
-    if (r.sacked) return true;
-  return false;
-}
-
-uint64_t Scoreboard::total_sacked_bytes() const {
-  uint64_t n = 0;
-  for (const auto& r : records_)
-    if (r.sacked) n += r.len();
-  return n;
-}
-
-int Scoreboard::sacked_segment_count() const {
-  int n = 0;
-  for (const auto& r : records_) n += r.sacked;
-  return n;
-}
-
-int Scoreboard::lost_segment_count() const {
-  int n = 0;
-  for (const auto& r : records_) n += (r.lost && !r.sacked);
-  return n;
-}
-
-uint64_t Scoreboard::sacked_bytes_above(uint64_t seq) const {
-  uint64_t n = 0;
-  for (const auto& r : records_)
-    if (r.sacked && r.start >= seq) n += r.len();
-  return n;
 }
 
 }  // namespace prr::tcp

@@ -10,6 +10,14 @@
 //     dupthresh and disables FACK.
 // The scoreboard also computes pipe (RFC 3517 SetPipe) and DeliveredData,
 // the per-ACK quantity PRR is built on.
+//
+// Accounting is incremental: running byte/segment tallies are updated at
+// the points records change state, so pipe(), total_sacked_bytes(),
+// sacked_segment_count(), lost_segment_count() and any_sacked() are O(1)
+// per call instead of O(window) scans. find() is a binary search over the
+// start-sorted records_ deque. A randomized differential test
+// (test_scoreboard_differential.cc) checks every tally against a brute-
+// force recomputation after each operation.
 #pragma once
 
 #include <cstdint>
@@ -105,8 +113,12 @@ class Scoreboard {
   // were never retransmitted are reverted (the originals are in flight).
   void clear_unretransmitted_loss_marks();
 
-  // RFC 3517 SetPipe over the scoreboard, in bytes.
-  uint64_t pipe() const;
+  // RFC 3517 SetPipe over the scoreboard, in bytes. O(1): maintained
+  // incrementally as (outstanding - sacked - lost) + retransmitted.
+  uint64_t pipe() const {
+    return (total_bytes_ - sacked_bytes_ - lost_bytes_) +
+           retransmitted_in_flight_bytes_;
+  }
 
   // Would the RFC 6675 / FACK entry condition fire (is the first
   // outstanding segment reconstructible as lost)?
@@ -120,24 +132,43 @@ class Scoreboard {
   const SegRecord* last_unsacked() const;
 
   bool has_records() const { return !records_.empty(); }
-  bool any_sacked() const;
+  bool any_sacked() const { return sacked_segs_ > 0; }
   bool all_acked_up_to(uint64_t seq) const { return snd_una_ >= seq; }
   uint64_t snd_una() const { return snd_una_; }
   uint64_t highest_sacked_end() const { return highest_sacked_end_; }
-  uint64_t total_sacked_bytes() const;
+  uint64_t total_sacked_bytes() const { return sacked_bytes_; }
   // Number of SACKed segments at/above snd.una — the FACK "fackets out".
-  int sacked_segment_count() const;
-  int lost_segment_count() const;
+  int sacked_segment_count() const { return sacked_segs_; }
+  // Segments marked lost and not (yet) SACKed.
+  int lost_segment_count() const { return lost_segs_; }
   const std::deque<SegRecord>& records() const { return records_; }
 
  private:
   SegRecord* find(uint64_t start);
-  uint64_t sacked_bytes_above(uint64_t seq) const;
+
+  // All record state changes funnel through these so the running tallies
+  // stay consistent (each is idempotent in the flag it sets/clears).
+  void set_sacked(SegRecord& r);
+  void set_lost(SegRecord& r);
+  void clear_lost(SegRecord& r);
+  void set_retransmitted(SegRecord& r);
+  void clear_retransmitted(SegRecord& r);
+  void account_remove(const SegRecord& r);
 
   uint32_t mss_;
   uint64_t snd_una_ = 0;
   uint64_t highest_sacked_end_ = 0;
   std::deque<SegRecord> records_;
+
+  // Incremental tallies over records_. lost/retransmitted figures count
+  // only non-SACKed records (the states pipe() distinguishes); a SACKed
+  // record's stale lost/retransmitted flags are excluded on the spot.
+  uint64_t total_bytes_ = 0;   // sum of len() over records_
+  uint64_t sacked_bytes_ = 0;  // sacked
+  uint64_t lost_bytes_ = 0;    // lost && !sacked
+  uint64_t retransmitted_in_flight_bytes_ = 0;  // retransmitted && !sacked
+  int sacked_segs_ = 0;
+  int lost_segs_ = 0;
 };
 
 }  // namespace prr::tcp

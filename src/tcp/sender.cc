@@ -148,7 +148,6 @@ void Sender::send_retransmit(uint64_t start, uint64_t end) {
 }
 
 void Sender::transmit(uint64_t start, uint64_t end, bool retx) {
-  static uint64_t next_segment_id = 1;
   const uint32_t len = static_cast<uint32_t>(end - start);
 
   if (!retx) {
@@ -211,7 +210,7 @@ void Sender::transmit(uint64_t start, uint64_t end, bool retx) {
   seg.seq = start;
   seg.len = len;
   seg.is_retransmit = retx;
-  seg.id = next_segment_id++;
+  seg.id = next_segment_id_++;
   seg.tx_time = sim_.now();
   if (config_.timestamps) {
     seg.has_ts = true;

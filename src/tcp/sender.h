@@ -247,6 +247,9 @@ class Sender {
   TcpState state_ = TcpState::kOpen;
   uint64_t snd_una_ = 0;
   uint64_t snd_nxt_ = 0;
+  // Per-sender (not global): connections must stay independent so the
+  // experiment harness can run them on worker threads deterministically.
+  uint64_t next_segment_id_ = 1;
   uint64_t write_end_ = 0;
   uint64_t cwnd_ = 0;
   uint64_t ssthresh_ = UINT64_MAX;

@@ -90,5 +90,46 @@ TEST(EventQueue, SizeExcludesCancelled) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(EventQueue, CancellingFiredIdRetainsNothing) {
+  // Regression: cancel() of an already-fired id used to park the id in
+  // the cancellation set forever, growing memory without bound in timer-
+  // heavy runs and skewing size() downward.
+  EventQueue q;
+  EventId id = q.schedule(1_ms, [] {});
+  q.run_next();  // fires `id`
+  EXPECT_EQ(q.size(), 0u);
+  q.cancel(id);  // must be a true no-op
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+
+  // size() stays exact with live events around the stale cancel.
+  q.schedule(2_ms, [] {});
+  q.cancel(id);  // still fired, still a no-op
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.run_next().ms(), 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancellingUnissuedAndRepeatIdsRetainsNothing) {
+  EventQueue q;
+  // Ids the queue never issued (>= next id) must not be recorded either:
+  // they would otherwise suppress a future event when the id is reused.
+  for (EventId bogus = 1; bogus < 100; ++bogus) q.cancel(bogus);
+  bool fired = false;
+  q.schedule(1_ms, [&] { fired = true; });  // gets id 1
+  EXPECT_EQ(q.size(), 1u);
+  q.run_next();
+  EXPECT_TRUE(fired);
+
+  // Double-cancel of a pending id: second is a no-op, size() stays exact.
+  EventId id = q.schedule(2_ms, [] {});
+  q.schedule(3_ms, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.run_next().ms(), 3);
+  EXPECT_TRUE(q.empty());
+}
+
 }  // namespace
 }  // namespace prr::sim
