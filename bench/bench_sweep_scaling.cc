@@ -88,9 +88,22 @@ int main() {
   opts.connections = connections;
   opts.seed = 20110501;
 
+  // Parallel speedup numbers are only meaningful when the machine has
+  // cores to scale onto; on a 1-core box every thread count serializes
+  // and "speedup" is just scheduling noise. The serial conns/sec trend
+  // is the figure future PRs should track in that case.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool speedup_meaningful = hw > 1;
+  std::printf("hardware_concurrency=%u%s\n\n", hw,
+              speedup_meaningful
+                  ? ""
+                  : "  (1 core: speedup columns are noise; track the "
+                    "serial conns/sec trend instead)");
+
   std::vector<Point> points;
   uint64_t serial_digest = 0;
   double serial_seconds = 0;
+  double serial_conns_per_sec = 0;
   bool digests_match = true;
   for (int threads : thread_counts) {
     opts.threads = threads;
@@ -116,11 +129,21 @@ int main() {
                    "FAIL: aggregates at threads=%d differ from serial\n",
                    threads);
     }
+    if (threads == 1) serial_conns_per_sec = p.conns_per_sec;
     p.speedup = p.seconds > 0 ? serial_seconds / p.seconds : 0;
     points.push_back(p);
-    std::printf("threads=%-2d  %8.2fs  %9.1f conns/sec  speedup %.2fx\n",
-                threads, p.seconds, p.conns_per_sec, p.speedup);
+    if (speedup_meaningful) {
+      std::printf("threads=%-2d  %8.2fs  %9.1f conns/sec  speedup %.2fx\n",
+                  threads, p.seconds, p.conns_per_sec, p.speedup);
+    } else {
+      std::printf("threads=%-2d  %8.2fs  %9.1f conns/sec  speedup n/a\n",
+                  threads, p.seconds, p.conns_per_sec);
+    }
   }
+  if (serial_conns_per_sec == 0 && !points.empty()) {
+    serial_conns_per_sec = points.front().conns_per_sec;
+  }
+  std::printf("\nserial trend: %.1f conns/sec\n", serial_conns_per_sec);
 
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -133,18 +156,28 @@ int main() {
                "  \"connections\": %d,\n"
                "  \"arms\": %zu,\n"
                "  \"hardware_concurrency\": %u,\n"
+               "  \"speedup_meaningful\": %s,\n"
+               "  \"serial_conns_per_sec\": %.1f,\n"
                "  \"aggregates_identical\": %s,\n"
                "  \"points\": [\n",
-               connections, arms.size(),
-               std::thread::hardware_concurrency(),
+               connections, arms.size(), hw,
+               speedup_meaningful ? "true" : "false",
+               serial_conns_per_sec,
                digests_match ? "true" : "false");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
+    // On a 1-core machine speedup_vs_serial is emitted as null rather
+    // than a number nobody should read as a scaling claim.
     std::fprintf(f,
                  "    {\"threads\": %d, \"seconds\": %.4f, "
-                 "\"conns_per_sec\": %.1f, \"speedup_vs_serial\": %.3f}%s\n",
-                 p.threads, p.seconds, p.conns_per_sec, p.speedup,
-                 i + 1 < points.size() ? "," : "");
+                 "\"conns_per_sec\": %.1f, \"speedup_vs_serial\": ",
+                 p.threads, p.seconds, p.conns_per_sec);
+    if (speedup_meaningful) {
+      std::fprintf(f, "%.3f}%s\n", p.speedup,
+                   i + 1 < points.size() ? "," : "");
+    } else {
+      std::fprintf(f, "null}%s\n", i + 1 < points.size() ? "," : "");
+    }
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -16,15 +16,37 @@
 #include "tcp/recovery/rate_halving.h"
 #include "tcp/recovery/rfc3517.h"
 #include "tcp/scoreboard.h"
+#include "util/alloc_counter.h"
 
 namespace {
 
 constexpr uint32_t kMss = 1460;
 
+// Reports heap allocations per iteration next to ns/op, via the
+// operator new/delete counting hooks linked into this binary. The hot
+// per-ACK paths must show 0 here (see tests/test_alloc_free.cc for the
+// enforcing test).
+class AllocsPerOp {
+ public:
+  explicit AllocsPerOp(benchmark::State& state)
+      : state_(state), start_(prr::util::alloc_counts()) {}
+  ~AllocsPerOp() {
+    const prr::util::AllocCounts end = prr::util::alloc_counts();
+    state_.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(end.allocations - start_.allocations),
+        benchmark::Counter::kAvgIterations);
+  }
+
+ private:
+  benchmark::State& state_;
+  prr::util::AllocCounts start_;
+};
+
 void BM_PrrOnAck(benchmark::State& state) {
   prr::core::PrrState s;
   s.enter_recovery(100 * kMss, 70 * kMss, kMss);
   uint64_t pipe = 90 * kMss;
+  AllocsPerOp allocs(state);
   for (auto _ : state) {
     const uint64_t sndcnt = s.on_ack(kMss, pipe);
     s.on_data_sent(sndcnt);
@@ -36,6 +58,50 @@ void BM_PrrOnAck(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PrrOnAck);
+
+// Steady-state event churn: schedule + fire (the Link/Timer pattern)
+// and a timer-style reschedule, on a warm queue. Both must report
+// allocs_per_op == 0 — the slot map recycles storage.
+void BM_EventSchedule(benchmark::State& state) {
+  prr::sim::EventQueue q;
+  int64_t now_us = 0;
+  uint64_t fired = 0;
+  // Warm the slot and heap vectors with a standing population.
+  std::vector<prr::sim::EventId> standing;
+  for (int i = 0; i < 64; ++i) {
+    standing.push_back(q.schedule(
+        prr::sim::Time::microseconds(1'000'000'000 + i), [&fired] {
+          ++fired;
+        }));
+  }
+  AllocsPerOp allocs(state);
+  for (auto _ : state) {
+    q.schedule(prr::sim::Time::microseconds(now_us + 10),
+               [&fired] { ++fired; });
+    ++now_us;
+    while (!q.empty() &&
+           q.next_time() <= prr::sim::Time::microseconds(now_us)) {
+      q.run_next();
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventSchedule);
+
+void BM_EventReschedule(benchmark::State& state) {
+  prr::sim::EventQueue q;
+  uint64_t fired = 0;
+  prr::sim::EventId id =
+      q.schedule(prr::sim::Time::microseconds(1), [&fired] { ++fired; });
+  int64_t at = 1;
+  AllocsPerOp allocs(state);
+  for (auto _ : state) {
+    id = q.reschedule(id, prr::sim::Time::microseconds(++at));
+    benchmark::DoNotOptimize(id);
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventReschedule);
 
 template <typename Policy>
 void BM_PolicyOnAck(benchmark::State& state) {
@@ -99,6 +165,7 @@ void BM_ScoreboardPipe(benchmark::State& state) {
                    prr::sim::Time::zero());
   }
   sb.update_loss_marks(3, true, true);
+  AllocsPerOp allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(sb.pipe());
   }

@@ -12,7 +12,7 @@ AckMangler::AckMangler(sim::Simulator& sim, Config config, sim::Rng rng,
       forward_(std::move(forward)),
       flush_timer_(sim, [this] { flush(); }) {}
 
-void AckMangler::on_ack(Segment ack) {
+void AckMangler::on_ack(Segment&& ack) {
   ++acks_seen_;
   if (config_.ack_loss_probability > 0 &&
       rng_.bernoulli(config_.ack_loss_probability)) {

@@ -17,7 +17,7 @@ namespace prr::net {
 
 class AckMangler {
  public:
-  using ForwardFn = std::function<void(Segment)>;
+  using ForwardFn = std::function<void(Segment&&)>;
 
   struct Config {
     double ack_loss_probability = 0.0;
@@ -31,7 +31,7 @@ class AckMangler {
   AckMangler(sim::Simulator& sim, Config config, sim::Rng rng,
              ForwardFn forward);
 
-  void on_ack(Segment ack);
+  void on_ack(Segment&& ack);
 
   uint64_t acks_seen() const { return acks_seen_; }
   uint64_t acks_forwarded() const { return acks_forwarded_; }

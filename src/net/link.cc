@@ -12,7 +12,7 @@ Link::Link(sim::Simulator& sim, Config config, DeliverFn deliver)
       loss_(std::make_unique<NoLoss>()),
       reorder_(std::make_unique<NoReorder>()) {}
 
-void Link::send(Segment seg) {
+void Link::send(Segment&& seg) {
   if (config_.ecn_mark_threshold > 0 && seg.ect &&
       queue_depth() >= config_.ecn_mark_threshold) {
     seg.ce = true;
@@ -28,25 +28,29 @@ void Link::send(Segment seg) {
         std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
     return;
   }
+  begin_serialization(std::move(seg));
+}
+
+void Link::begin_serialization(Segment&& seg) {
   ++stats_.enqueued;
   busy_ = true;
   const sim::Time serialize = config_.rate.transmit_time(seg.wire_size());
-  sim_.schedule_in(serialize, [this, seg = std::move(seg)]() mutable {
-    finish_transmission(std::move(seg));
-  });
+  serializing_ = std::move(seg);
+  sim_.schedule_in(serialize, [this] { finish_transmission(); });
 }
 
 void Link::set_queue_limit(std::size_t packets) {
   config_.queue_limit_packets = packets;
   while (queue_.size() > config_.queue_limit_packets) {
-    queue_.pop_back();
+    queue_.drop_back();
     ++stats_.dropped_queue;
   }
 }
 
-void Link::finish_transmission(Segment seg) {
+void Link::finish_transmission() {
   // Serialization done: propagate (plus any reordering extra delay) and
   // start the next queued segment.
+  Segment seg = std::move(serializing_);
   if (blackout_) {
     ++stats_.dropped_blackout;
   } else if (loss_->should_drop(seg)) {
@@ -55,24 +59,30 @@ void Link::finish_transmission(Segment seg) {
     const sim::Time total = config_.propagation_delay +
                             reorder_->extra_delay(seg);
     ++stats_.delivered;
-    sim_.schedule_in(total, [this, seg = std::move(seg)]() mutable {
-      deliver_(std::move(seg));
-    });
+    uint32_t slot;
+    if (!flight_free_.empty()) {
+      slot = flight_free_.back();
+      flight_free_.pop_back();
+      flight_[slot] = std::move(seg);
+    } else {
+      slot = static_cast<uint32_t>(flight_.size());
+      flight_.push_back(std::move(seg));
+    }
+    sim_.schedule_in(total, [this, slot] { deliver_flight(slot); });
   }
   busy_ = false;
   start_transmission();
 }
 
+void Link::deliver_flight(uint32_t slot) {
+  Segment seg = std::move(flight_[slot]);
+  flight_free_.push_back(slot);
+  deliver_(std::move(seg));
+}
+
 void Link::start_transmission() {
   if (busy_ || queue_.empty()) return;
-  Segment seg = std::move(queue_.front());
-  queue_.pop_front();
-  ++stats_.enqueued;
-  busy_ = true;
-  const sim::Time serialize = config_.rate.transmit_time(seg.wire_size());
-  sim_.schedule_in(serialize, [this, seg = std::move(seg)]() mutable {
-    finish_transmission(std::move(seg));
-  });
+  begin_serialization(queue_.pop_front());
 }
 
 }  // namespace prr::net

@@ -9,17 +9,24 @@
 // segment whose serialization already started completes at the old rate,
 // a segment already propagating keeps its old delivery time, and a queue
 // shrink drops the excess from the tail as ordinary queue drops.
+//
+// Segments are never copied and never captured in event closures: the
+// segment being serialized lives in a member, propagating segments live
+// in a free-listed flight pool, and events carry only `this` plus a pool
+// index — so the steady-state forwarding path performs no heap
+// allocation and moves each Segment exactly once per hop.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "net/loss_model.h"
 #include "net/reorder_model.h"
 #include "net/segment.h"
 #include "sim/simulator.h"
+#include "util/ring_queue.h"
 #include "util/units.h"
 
 namespace prr::net {
@@ -36,7 +43,7 @@ struct LinkStats {
 
 class Link {
  public:
-  using DeliverFn = std::function<void(Segment)>;
+  using DeliverFn = std::function<void(Segment&&)>;
 
   struct Config {
     util::DataRate rate = util::DataRate::mbps(10);
@@ -56,7 +63,7 @@ class Link {
   }
 
   // Enqueues a segment for transmission; drops it if the queue is full.
-  void send(Segment seg);
+  void send(Segment&& seg);
 
   // ---- runtime path mutation (fault injection) ----
   // New rate applies to serializations starting after the call; the
@@ -86,15 +93,22 @@ class Link {
   std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
 
  private:
+  void begin_serialization(Segment&& seg);
   void start_transmission();
-  void finish_transmission(Segment seg);
+  void finish_transmission();
+  void deliver_flight(uint32_t slot);
 
   sim::Simulator& sim_;
   Config config_;
   DeliverFn deliver_;
   std::unique_ptr<LossModel> loss_;
   std::unique_ptr<ReorderModel> reorder_;
-  std::deque<Segment> queue_;
+  util::RingQueue<Segment> queue_;
+  // The segment on the wire (valid iff busy_) and the pool of segments
+  // in propagation; events reference pool slots by index.
+  Segment serializing_;
+  std::vector<Segment> flight_;
+  std::vector<uint32_t> flight_free_;
   bool busy_ = false;
   bool blackout_ = false;
   LinkStats stats_;

@@ -19,25 +19,25 @@ Path::Config Path::Config::symmetric(util::DataRate rate, sim::Time rtt,
 Path::Path(sim::Simulator& sim, Config config, sim::Rng rng) : sim_(sim) {
   data_link_ = std::make_unique<Link>(
       sim, config.data_link,
-      [this](Segment s) {
+      [this](Segment&& s) {
         if (deliver_data_) deliver_data_(std::move(s));
       });
   ack_link_ = std::make_unique<Link>(
       sim, config.ack_link,
-      [this](Segment s) {
+      [this](Segment&& s) {
         if (deliver_ack_) deliver_ack_(std::move(s));
       });
   ack_mangler_ = std::make_unique<AckMangler>(
       sim, config.ack_mangler, rng.fork(0x41434b),
-      [this](Segment s) { ack_link_->send(std::move(s)); });
+      [this](Segment&& s) { ack_link_->send(std::move(s)); });
 }
 
-void Path::send_data(Segment seg) {
+void Path::send_data(Segment&& seg) {
   if (wire_tap) wire_tap(seg, /*is_ack=*/false, sim_.now());
   data_link_->send(std::move(seg));
 }
 
-void Path::send_ack(Segment seg) {
+void Path::send_ack(Segment&& seg) {
   if (client_dead_) return;
   if (ack_stalled_) {
     stalled_ack_ = std::move(seg);  // newest ACK supersedes the held one

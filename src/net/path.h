@@ -41,8 +41,8 @@ class Path {
   void set_data_sink(Link::DeliverFn fn) { deliver_data_ = std::move(fn); }
   void set_ack_sink(Link::DeliverFn fn) { deliver_ack_ = std::move(fn); }
 
-  void send_data(Segment seg);
-  void send_ack(Segment seg);
+  void send_data(Segment&& seg);
+  void send_ack(Segment&& seg);
 
   Link& data_link() { return *data_link_; }
   Link& ack_link() { return *ack_link_; }

@@ -6,9 +6,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <vector>
 
 #include "sim/time.h"
+#include "util/inline_vector.h"
 
 namespace prr::net {
 
@@ -28,8 +28,10 @@ struct Segment {
 
   // --- ack direction ---
   bool is_ack = false;
-  uint64_t ack = 0;                    // cumulative: next byte expected
-  std::vector<SackBlock> sacks;        // most recently received first
+  uint64_t ack = 0;  // cumulative: next byte expected
+  // Most recently received first. Inline storage for the RFC 2018 wire
+  // cap of 3-4 blocks, so building/moving a pure ACK never allocates.
+  util::InlineVector<SackBlock, 4> sacks;
   std::optional<SackBlock> dsack;      // duplicate-SACK report (RFC 2883)
   uint64_t rwnd = 0;                   // receive window in bytes
 

@@ -1,46 +1,127 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace prr::sim {
 
-EventId EventQueue::schedule(Time at, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+namespace {
+
+// Min-heap on (at, seq): std::push_heap builds a max-heap under the
+// comparator, so "greater" ordering keeps the earliest entry on top.
+constexpr auto later = [](const auto& a, const auto& b) {
+  if (a.at != b.at) return a.at > b.at;
+  return a.seq > b.seq;
+};
+
+}  // namespace
+
+EventQueue::Slot* EventQueue::live_slot(EventId id) {
+  const uint32_t index = id_index(id);
+  if (index >= slots_.size()) return nullptr;
+  Slot& s = slots_[index];
+  if (!s.live || s.gen != id_gen(id)) return nullptr;
+  return &s;
+}
+
+uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNilIndex) {
+    const uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  const uint32_t index = static_cast<uint32_t>(slots_.size());
+  slots_.emplace_back();
+  return index;
+}
+
+void EventQueue::push_entry(Time at, uint32_t slot, uint32_t gen) {
+  // Reschedule-heavy patterns (a timer re-armed on every ACK) leave
+  // stale entries that are only dropped lazily when their old time is
+  // reached. If they ever dominate, rebuild the heap from the live
+  // entries in place: pop order is the strict total order (at, seq), so
+  // compaction cannot change what fires when.
+  if (heap_.size() >= 64 && heap_.size() > 4 * live_) {
+    std::erase_if(heap_, [this](const HeapEntry& e) {
+      return entry_stale(e);
+    });
+    std::make_heap(heap_.begin(), heap_.end(), later);
+  }
+  heap_.push_back(HeapEntry{at, next_seq_++, slot, gen});
+  std::push_heap(heap_.begin(), heap_.end(),
+                 later);
+}
+
+EventId EventQueue::schedule(Time at, EventCallback fn) {
+  const uint32_t index = acquire_slot();
+  Slot& s = slots_[index];
+  s.fn = std::move(fn);
+  s.live = true;
+  push_entry(at, index, s.gen);
+  ++live_;
+  return make_id(s.gen, index);
+}
+
+EventId EventQueue::reschedule(EventId id, Time at) {
+  Slot* s = live_slot(id);
+  if (s == nullptr) return kInvalidEventId;
+  // Re-sequencing under a fresh generation makes the old heap entry
+  // stale in place; the callback and the slot are untouched.
+  bump_gen(*s);
+  push_entry(at, id_index(id), s->gen);
+  return make_id(s->gen, id_index(id));
 }
 
 void EventQueue::cancel(EventId id) {
-  pending_.erase(id);  // no-op for fired/cancelled/never-issued ids
-  // With nothing pending, any remaining heap entries are dead weight from
-  // cancellations — release them now rather than waiting for lazy pops
+  Slot* s = live_slot(id);
+  if (s == nullptr) return;  // fired/cancelled/never-issued: true no-op
+  s->fn.reset();  // release captures now, not at lazy heap pop
+  s->live = false;
+  bump_gen(*s);
+  s->next_free = free_head_;
+  free_head_ = id_index(id);
+  --live_;
+  // With nothing pending, every remaining heap entry is stale — drop
+  // them all now (capacity is kept) rather than waiting for lazy pops
   // that may never come.
-  if (pending_.empty() && !heap_.empty()) heap_ = {};
+  if (live_ == 0) heap_.clear();
 }
 
-void EventQueue::drop_cancelled_head() const {
-  while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
-    heap_.pop();
+void EventQueue::drop_stale_head() const {
+  while (!heap_.empty() && entry_stale(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(),
+                  later);
+    heap_.pop_back();
   }
 }
 
 Time EventQueue::next_time() const {
-  drop_cancelled_head();
-  return heap_.empty() ? Time::infinite() : heap_.top().at;
+  drop_stale_head();
+  return heap_.empty() ? Time::infinite() : heap_.front().at;
 }
 
 Time EventQueue::run_next() {
-  drop_cancelled_head();
+  drop_stale_head();
   assert(!heap_.empty());
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the callable instead (events are small closures).
-  Entry e = heap_.top();
-  heap_.pop();
-  pending_.erase(e.id);
-  e.fn();
-  return e.at;
+  const HeapEntry head = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(),
+                later);
+  heap_.pop_back();
+
+  Slot& s = slots_[head.slot];
+  // Move the callback out before releasing the slot: the callback may
+  // schedule new events, which can recycle this slot or grow slots_.
+  EventCallback fn = std::move(s.fn);
+  s.live = false;
+  bump_gen(s);
+  s.next_free = free_head_;
+  free_head_ = head.slot;
+  --live_;
+  if (live_ == 0) heap_.clear();
+
+  fn();
+  return head.at;
 }
 
 }  // namespace prr::sim

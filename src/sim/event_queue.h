@@ -1,34 +1,57 @@
-// Binary-heap event queue with stable FIFO ordering for equal timestamps
-// and O(log n) lazy cancellation via event ids.
+// Event queue built for allocation-free steady-state operation: a
+// generation-tagged slot map holds the callbacks (free-listed slots, so
+// schedule/fire/cancel recycle storage instead of allocating), and a
+// binary min-heap of plain (time, seq, slot, gen) entries provides
+// ordering — equal times fire in scheduling order via the seq
+// tie-breaker, exactly as the original heap-of-std::function design did.
+//
+// An EventId packs (generation << 32 | slot index). The generation bumps
+// whenever the slot's pending event is fired, cancelled or rescheduled,
+// so a stale id can never touch a recycled slot: cancel() and
+// reschedule() are O(1) array probes that no-op on dead ids, and heap
+// entries whose generation no longer matches their slot are skipped
+// lazily on pop. Callbacks are util::InlineFunction, so the typical
+// capture (`this` plus a slot index or a Time) lives inside the slot —
+// no per-event heap allocation anywhere in the schedule/fire/cancel
+// cycle once the slot and heap vectors have reached steady capacity.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.h"
+#include "util/inline_function.h"
 
 namespace prr::sim {
 
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+// 48 bytes of inline capture space: enough for a std::function being
+// forwarded, or `this` + a couple of words, with headroom.
+using EventCallback = util::InlineFunction<void(), 48>;
+
 class EventQueue {
  public:
   // Schedules `fn` at absolute time `at`. Events with equal time fire in
-  // scheduling order. Returns an id usable with cancel().
-  EventId schedule(Time at, std::function<void()> fn);
+  // scheduling order. Returns an id usable with cancel()/reschedule().
+  EventId schedule(Time at, EventCallback fn);
+
+  // Moves a pending event to a new time, keeping its callback and slot
+  // (no allocation, no callback reconstruction). The event is re-sequenced
+  // as if it had been cancelled and freshly scheduled, so FIFO ordering
+  // among equal times is identical to a cancel+schedule pair. Returns the
+  // event's new id, or kInvalidEventId if `id` was stale (already fired,
+  // cancelled, or never issued) — the caller then schedules normally.
+  EventId reschedule(EventId id, Time at);
 
   // Cancels a pending event. Cancelling an already-fired, already-
-  // cancelled, never-issued, or invalid id is a true no-op: no state is
-  // retained for it (lazy deletion: the heap entry, if any, is skipped
-  // when popped).
+  // cancelled, never-issued, or invalid id is a true no-op: the
+  // generation check makes stale ids unable to touch a recycled slot.
   void cancel(EventId id);
 
-  bool empty() const { return pending_.empty(); }
-  std::size_t size() const { return pending_.size(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
   Time next_time() const;
 
   // Pops and runs the earliest event; returns its time. Precondition:
@@ -36,30 +59,48 @@ class EventQueue {
   Time run_next();
 
  private:
-  struct Entry {
+  static constexpr uint32_t kNilIndex = 0xffffffffu;
+
+  struct Slot {
+    EventCallback fn;
+    uint32_t gen = 1;  // generations start at 1 so no id is ever 0
+    uint32_t next_free = kNilIndex;
+    bool live = false;
+  };
+  struct HeapEntry {
     Time at;
     uint64_t seq;  // tie-breaker: FIFO among equal times
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    uint32_t slot;
+    uint32_t gen;
   };
 
-  void drop_cancelled_head() const;
+  static EventId make_id(uint32_t gen, uint32_t index) {
+    return (static_cast<EventId>(gen) << 32) | index;
+  }
+  static uint32_t id_gen(EventId id) { return static_cast<uint32_t>(id >> 32); }
+  static uint32_t id_index(EventId id) { return static_cast<uint32_t>(id); }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  // Ids of events scheduled but not yet fired or cancelled: a heap entry
-  // is live iff its id is in here. Tracking liveness (rather than a
-  // cancellation set) bounds memory by the number of pending events —
-  // cancelling fired or bogus ids cannot grow anything — and makes
-  // size()/empty() exact.
-  mutable std::unordered_set<EventId> pending_;
+  static void bump_gen(Slot& s) {
+    if (++s.gen == 0) s.gen = 1;  // skip 0 so ids stay non-zero
+  }
+
+  Slot* live_slot(EventId id);
+  uint32_t acquire_slot();
+  void push_entry(Time at, uint32_t slot, uint32_t gen);
+  void drop_stale_head() const;
+  bool entry_stale(const HeapEntry& e) const {
+    return slots_[e.slot].gen != e.gen;
+  }
+
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNilIndex;
+  // Min-heap on (at, seq) maintained with std::push_heap/pop_heap.
+  // Entries for cancelled/rescheduled events go stale in place and are
+  // dropped lazily; live_ counts the real pending events so size() and
+  // empty() stay exact.
+  mutable std::vector<HeapEntry> heap_;
+  std::size_t live_ = 0;
   uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
 };
 
 }  // namespace prr::sim

@@ -19,29 +19,29 @@ Rng Rng::fork(uint64_t stream) const {
 }
 
 double Rng::uniform() {
-  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine());
 }
 
 double Rng::uniform(double lo, double hi) {
-  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  return std::uniform_real_distribution<double>(lo, hi)(engine());
 }
 
 uint64_t Rng::uniform_int(uint64_t lo, uint64_t hi) {
-  return std::uniform_int_distribution<uint64_t>(lo, hi)(engine_);
+  return std::uniform_int_distribution<uint64_t>(lo, hi)(engine());
 }
 
 bool Rng::bernoulli(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
-  return std::bernoulli_distribution(p)(engine_);
+  return std::bernoulli_distribution(p)(engine());
 }
 
 double Rng::exponential(double mean) {
-  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  return std::exponential_distribution<double>(1.0 / mean)(engine());
 }
 
 double Rng::lognormal(double mu, double sigma) {
-  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  return std::lognormal_distribution<double>(mu, sigma)(engine());
 }
 
 double Rng::lognormal_with_mean(double mean, double sigma) {
@@ -54,11 +54,11 @@ int Rng::geometric(double mean) {
   if (mean <= 1.0) return 1;
   // Support {1, 2, ...} with E = mean: success prob p = 1/mean.
   const double p = 1.0 / mean;
-  return 1 + std::geometric_distribution<int>(p)(engine_);
+  return 1 + std::geometric_distribution<int>(p)(engine());
 }
 
 double Rng::normal(double mean, double stddev) {
-  return std::normal_distribution<double>(mean, stddev)(engine_);
+  return std::normal_distribution<double>(mean, stddev)(engine());
 }
 
 double Rng::pareto(double scale, double shape) {

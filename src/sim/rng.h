@@ -5,13 +5,65 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <random>
 
 namespace prr::sim {
 
+// Drop-in replacement for std::mt19937_64 that emits the exact same
+// output stream but advances the 312-word state incrementally — one
+// twist per draw — instead of regenerating the whole block at once.
+// Forked per-connection streams draw a handful of values each, so the
+// batch engine wastes nearly all of its state-regeneration work; this
+// one does O(draws) twisting. Equivalence with the std engine is pinned
+// by a unit test and by the serial digest goldens.
+class Mt64 {
+ public:
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  explicit Mt64(uint64_t seed) {
+    x_[0] = seed;
+    for (unsigned i = 1; i < kN; ++i) {
+      x_[i] = 6364136223846793005ULL * (x_[i - 1] ^ (x_[i - 1] >> 62)) + i;
+    }
+  }
+
+  result_type operator()() {
+    // Twisting in index order with in-place updates reads exactly the
+    // old/new state words the batched loop reads, so each word — and
+    // therefore each tempered output — matches std::mt19937_64.
+    if (pos_ == kN) pos_ = 0;
+    const unsigned i = pos_++;
+    unsigned i1 = i + 1;
+    if (i1 == kN) i1 = 0;
+    unsigned im = i + kM;
+    if (im >= kN) im -= kN;
+    const uint64_t y = (x_[i] & kUpperMask) | (x_[i1] & kLowerMask);
+    uint64_t z = x_[im] ^ (y >> 1) ^ ((y & 1ULL) ? kMatrixA : 0ULL);
+    x_[i] = z;
+    z ^= (z >> 29) & 0x5555555555555555ULL;
+    z ^= (z << 17) & 0x71D67FFFEDA60000ULL;
+    z ^= (z << 37) & 0xFFF7EEE000000000ULL;
+    z ^= z >> 43;
+    return z;
+  }
+
+ private:
+  static constexpr unsigned kN = 312;
+  static constexpr unsigned kM = 156;
+  static constexpr uint64_t kMatrixA = 0xB5026F5AA96619E9ULL;
+  static constexpr uint64_t kUpperMask = 0xFFFFFFFF80000000ULL;
+  static constexpr uint64_t kLowerMask = 0x000000007FFFFFFFULL;
+
+  uint64_t x_[kN];
+  unsigned pos_ = kN;  // seeded state is "exhausted": first draw twists
+};
+
 class Rng {
  public:
-  explicit Rng(uint64_t seed) : seed_(seed), engine_(seed) {}
+  explicit Rng(uint64_t seed) : seed_(seed) {}
   // Derives an independent sub-stream; stable across runs.
   Rng fork(uint64_t stream) const;
 
@@ -31,8 +83,18 @@ class Rng {
   double pareto(double scale, double shape);
 
  private:
+  // The 2.5 kB Mersenne Twister state is a pure function of seed_, so it
+  // is materialized only on the first draw. Many Rngs per connection are
+  // fork parents that never draw (common-random-numbers tree roots), and
+  // for those this skips the O(state) seeding entirely — with draw
+  // sequences unchanged for every stream that is actually sampled.
+  Mt64& engine() {
+    if (!engine_) engine_.emplace(seed_);
+    return *engine_;
+  }
+
   uint64_t seed_ = 0;
-  std::mt19937_64 engine_;
+  std::optional<Mt64> engine_;
 };
 
 }  // namespace prr::sim

@@ -4,14 +4,19 @@
 
 namespace prr::sim {
 
-EventId Simulator::schedule_in(Time delay, std::function<void()> fn) {
+EventId Simulator::schedule_in(Time delay, EventCallback fn) {
   if (delay < Time::zero()) delay = Time::zero();
   return queue_.schedule(now_ + delay, std::move(fn));
 }
 
-EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+EventId Simulator::schedule_at(Time at, EventCallback fn) {
   if (at < now_) at = now_;
   return queue_.schedule(at, std::move(fn));
+}
+
+EventId Simulator::reschedule_in(Time delay, EventId id) {
+  if (delay < Time::zero()) delay = Time::zero();
+  return queue_.reschedule(id, now_ + delay);
 }
 
 Time Simulator::run(Time deadline) {
@@ -32,8 +37,12 @@ bool Simulator::step(Time deadline) {
 }
 
 void Timer::start(Time delay) {
-  stop();
   expiry_ = sim_->now() + delay;
+  if (id_ != kInvalidEventId) {
+    // Rearm in place: the armed event keeps its slot and callback.
+    id_ = sim_->reschedule_in(delay, id_);
+    if (id_ != kInvalidEventId) return;
+  }
   id_ = sim_->schedule_in(delay, [this] {
     id_ = kInvalidEventId;
     expiry_ = Time::infinite();

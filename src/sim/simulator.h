@@ -1,5 +1,8 @@
 // The simulator: owns the clock and event queue, provides scheduling in
-// relative or absolute time plus cancellable Timer handles.
+// relative or absolute time plus cancellable Timer handles. Callbacks are
+// EventCallback (small-buffer inline storage), so scheduling a typical
+// closure allocates nothing; Timer rearms by rescheduling its event slot
+// in place instead of cancelling and reallocating.
 #pragma once
 
 #include <cstdint>
@@ -15,9 +18,12 @@ class Simulator {
   Time now() const { return now_; }
 
   // Schedules fn at now() + delay (delay clamped to >= 0).
-  EventId schedule_in(Time delay, std::function<void()> fn);
+  EventId schedule_in(Time delay, EventCallback fn);
   // Schedules fn at absolute time `at` (clamped to >= now()).
-  EventId schedule_at(Time at, std::function<void()> fn);
+  EventId schedule_at(Time at, EventCallback fn);
+  // Moves a pending event to now() + delay, keeping its callback.
+  // Returns the new id, or kInvalidEventId if `id` was stale.
+  EventId reschedule_in(Time delay, EventId id);
   void cancel(EventId id) { queue_.cancel(id); }
 
   // Runs events until the queue drains or `deadline` passes. Returns the
@@ -38,7 +44,10 @@ class Simulator {
 };
 
 // RAII-free cancellable timer bound to a Simulator. Rescheduling cancels
-// any pending expiry. Used for RTO, delayed-ACK, ER-delay timers.
+// any pending expiry. Used for RTO, delayed-ACK, ER-delay timers. A
+// restart while pending reuses the armed event's slot and callback
+// (EventQueue::reschedule), so the per-ACK rearm that RTO management
+// performs allocates nothing and constructs nothing.
 class Timer {
  public:
   Timer(Simulator& sim, std::function<void()> on_expire)

@@ -11,15 +11,15 @@ Connection::Connection(sim::Simulator& sim, ConnectionConfig config,
   path_ = std::make_unique<net::Path>(sim, config.path, rng);
   sender_ = std::make_unique<Sender>(
       sim, config.sender,
-      [this](net::Segment seg) { path_->send_data(std::move(seg)); },
+      [this](net::Segment&& seg) { path_->send_data(std::move(seg)); },
       metrics, recovery_log);
   receiver_ = std::make_unique<Receiver>(
       sim, config.receiver,
-      [this](net::Segment seg) { path_->send_ack(std::move(seg)); });
+      [this](net::Segment&& seg) { path_->send_ack(std::move(seg)); });
   path_->set_data_sink(
-      [this](net::Segment seg) { receiver_->on_data(seg); });
+      [this](net::Segment&& seg) { receiver_->on_data(seg); });
   path_->set_ack_sink(
-      [this](net::Segment seg) { sender_->on_ack_segment(seg); });
+      [this](net::Segment&& seg) { sender_->on_ack_segment(seg); });
   if (metrics) ++metrics->connections;
 }
 

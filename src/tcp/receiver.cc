@@ -124,16 +124,22 @@ void Receiver::send_ack_now(std::optional<net::SackBlock> dsack) {
   if (config_.ecn) ack.ece = ece_pending_;
   if (config_.sack_enabled) {
     ack.dsack = dsack;
-    // Up to max_sack_blocks OOO intervals, most recently updated first.
-    std::vector<OooBlock> blocks = ooo_;
-    std::sort(blocks.begin(), blocks.end(),
-              [](const OooBlock& a, const OooBlock& b) {
-                return a.recency > b.recency;
-              });
-    const int n = std::min<int>(config_.max_sack_blocks,
-                                static_cast<int>(blocks.size()));
-    for (int i = 0; i < n; ++i) {
-      ack.sacks.push_back({blocks[i].start, blocks[i].end});
+    // Up to max_sack_blocks OOO intervals, most recently updated first:
+    // a top-k selection over ooo_ (k <= 4, recencies unique), kept
+    // allocation-free — this runs on every ACK of every lossy window.
+    const int k = std::min<int>(config_.max_sack_blocks, 4);
+    const OooBlock* top[4] = {nullptr, nullptr, nullptr, nullptr};
+    int filled = 0;
+    for (const OooBlock& b : ooo_) {
+      int i = filled;
+      while (i > 0 && top[i - 1]->recency < b.recency) --i;
+      if (i >= k) continue;
+      if (filled < k) ++filled;
+      for (int j = filled - 1; j > i; --j) top[j] = top[j - 1];
+      top[i] = &b;
+    }
+    for (int i = 0; i < filled; ++i) {
+      ack.sacks.push_back({top[i]->start, top[i]->end});
     }
   }
   ++acks_sent_;

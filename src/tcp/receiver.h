@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "net/segment.h"
@@ -16,7 +15,7 @@ namespace prr::tcp {
 
 class Receiver {
  public:
-  using SendAckFn = std::function<void(net::Segment)>;
+  using SendAckFn = std::function<void(net::Segment&&)>;
 
   struct Config {
     bool sack_enabled = true;
@@ -29,7 +28,7 @@ class Receiver {
     int quickack_segments = 0;
     sim::Time delack_timeout = sim::Time::milliseconds(40);
     uint64_t rwnd = 16 * 1024 * 1024;
-    int max_sack_blocks = 3;
+    int max_sack_blocks = 3;  // hard wire cap of 4 (RFC 2018 option space)
   };
 
   Receiver(sim::Simulator& sim, Config config, SendAckFn send_ack);

@@ -15,18 +15,18 @@
 // the points records change state, so pipe(), total_sacked_bytes(),
 // sacked_segment_count(), lost_segment_count() and any_sacked() are O(1)
 // per call instead of O(window) scans. find() is a binary search over the
-// start-sorted records_ deque. A randomized differential test
+// start-sorted records_ ring. A randomized differential test
 // (test_scoreboard_differential.cc) checks every tally against a brute-
 // force recomputation after each operation.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
 #include "net/segment.h"
 #include "sim/time.h"
+#include "util/ring_queue.h"
 
 namespace prr::tcp {
 
@@ -141,7 +141,7 @@ class Scoreboard {
   int sacked_segment_count() const { return sacked_segs_; }
   // Segments marked lost and not (yet) SACKed.
   int lost_segment_count() const { return lost_segs_; }
-  const std::deque<SegRecord>& records() const { return records_; }
+  const util::RingQueue<SegRecord>& records() const { return records_; }
 
  private:
   SegRecord* find(uint64_t start);
@@ -158,7 +158,10 @@ class Scoreboard {
   uint32_t mss_;
   uint64_t snd_una_ = 0;
   uint64_t highest_sacked_end_ = 0;
-  std::deque<SegRecord> records_;
+  // Start-sorted, non-overlapping in-flight records. A ring (not a
+  // deque) so the steady-state transmit/ack cycle — push at the tail,
+  // pop at the head — recycles slots instead of churning deque blocks.
+  util::RingQueue<SegRecord> records_;
 
   // Incremental tallies over records_. lost/retransmitted figures count
   // only non-SACKed records (the states pipe() distinguishes); a SACKed

@@ -119,7 +119,7 @@ struct SenderConfig {
 
 class Sender {
  public:
-  using SendFn = std::function<void(net::Segment)>;
+  using SendFn = std::function<void(net::Segment&&)>;
 
   Sender(sim::Simulator& sim, SenderConfig config, SendFn send,
          Metrics* metrics, stats::RecoveryLog* recovery_log);

@@ -1,0 +1,31 @@
+// Heap-allocation counting for tests and microbenchmarks. The counters
+// are fed by global operator new/delete replacements that live in a
+// separate translation unit (util/alloc_hooks.cc, target
+// prr_alloc_hooks) linked ONLY into the test and microbench binaries —
+// the simulator library and experiment binaries never pay for the
+// atomic bumps. Binaries that do not link the hooks must not include
+// this header (the accessors would be undefined symbols).
+//
+// Used to enforce the steady-state zero-allocation invariant of the
+// per-ACK hot path (see DESIGN.md §7) and to report allocs/op next to
+// ns/op in micro_perack_cost.
+#pragma once
+
+#include <cstdint>
+
+namespace prr::util {
+
+struct AllocCounts {
+  uint64_t allocations = 0;  // operator new calls (all variants)
+  uint64_t frees = 0;        // operator delete calls (all variants)
+};
+
+// Snapshot of the process-wide counters (relaxed loads; exact in
+// single-threaded tests).
+AllocCounts alloc_counts() noexcept;
+
+// True when the counting hooks TU is linked in. Lets shared helpers
+// degrade to "not measured" instead of reporting zero.
+bool alloc_counting_enabled() noexcept;
+
+}  // namespace prr::util

@@ -1,0 +1,106 @@
+// Global operator new/delete replacements that count every heap
+// allocation and free. Linked only into test/microbench binaries (see
+// util/alloc_counter.h). malloc/free-backed so the replacements stay
+// self-contained; the sized and aligned variants all funnel through the
+// same two counters.
+#include "util/alloc_counter.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace prr::util {
+namespace {
+
+std::atomic<uint64_t> g_allocations{0};
+std::atomic<uint64_t> g_frees{0};
+
+void* counted_alloc(std::size_t size) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded ? rounded : align);
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+AllocCounts alloc_counts() noexcept {
+  return {g_allocations.load(std::memory_order_relaxed),
+          g_frees.load(std::memory_order_relaxed)};
+}
+
+bool alloc_counting_enabled() noexcept { return true; }
+
+}  // namespace prr::util
+
+void* operator new(std::size_t size) {
+  void* p = prr::util::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = prr::util::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return prr::util::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return prr::util::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = prr::util::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = prr::util::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { prr::util::counted_free(p); }
+void operator delete[](void* p) noexcept { prr::util::counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  prr::util::counted_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  prr::util::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  prr::util::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  prr::util::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  prr::util::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  prr::util::counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  prr::util::counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  prr::util::counted_free(p);
+}

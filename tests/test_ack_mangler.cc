@@ -80,7 +80,7 @@ TEST(AckMangler, StretchPreservesDsack) {
                [&](Segment s) { out.push_back(s); });
   Segment with_dsack = ack(1000);
   with_dsack.dsack = SackBlock{0, 500};
-  m.on_ack(with_dsack);
+  m.on_ack(std::move(with_dsack));
   m.on_ack(ack(2000));  // coalesces over the DSACK ack
   sim.run();
   ASSERT_EQ(out.size(), 1u);

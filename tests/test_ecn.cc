@@ -34,7 +34,7 @@ TEST(EcnLink, MarksEctSegmentsAboveThreshold) {
     s.seq = static_cast<uint64_t>(i) * kMss;
     s.len = kMss;
     s.ect = true;
-    link.send(s);
+    link.send(std::move(s));
   }
   sim.run();
   EXPECT_EQ(delivered, 8);
@@ -52,7 +52,7 @@ TEST(EcnLink, NonEctSegmentsNeverMarked) {
   for (int i = 0; i < 5; ++i) {
     net::Segment s;
     s.len = kMss;
-    link.send(s);
+    link.send(std::move(s));
   }
   sim.run();
   EXPECT_EQ(ce, 0);

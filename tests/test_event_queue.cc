@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <utility>
 #include <vector>
 
 namespace prr::sim {
@@ -112,11 +115,12 @@ TEST(EventQueue, CancellingFiredIdRetainsNothing) {
 
 TEST(EventQueue, CancellingUnissuedAndRepeatIdsRetainsNothing) {
   EventQueue q;
-  // Ids the queue never issued (>= next id) must not be recorded either:
-  // they would otherwise suppress a future event when the id is reused.
+  // Ids the queue never issued (bogus generations/indices) must not be
+  // recorded either: they would otherwise suppress a future event when
+  // the slot is used.
   for (EventId bogus = 1; bogus < 100; ++bogus) q.cancel(bogus);
   bool fired = false;
-  q.schedule(1_ms, [&] { fired = true; });  // gets id 1
+  q.schedule(1_ms, [&] { fired = true; });
   EXPECT_EQ(q.size(), 1u);
   q.run_next();
   EXPECT_TRUE(fired);
@@ -129,6 +133,168 @@ TEST(EventQueue, CancellingUnissuedAndRepeatIdsRetainsNothing) {
   EXPECT_EQ(q.size(), 1u);
   EXPECT_EQ(q.run_next().ms(), 3);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleIdOnRecycledSlotIsNoop) {
+  // The first event's slot is recycled by the second schedule. The old
+  // id must not be able to cancel the new occupant: the generation tag
+  // makes it a true no-op.
+  EventQueue q;
+  EventId old_id = q.schedule(1_ms, [] {});
+  q.run_next();  // fires; slot goes back on the free list
+  bool fired = false;
+  EventId new_id = q.schedule(2_ms, [&] { fired = true; });
+  ASSERT_NE(old_id, new_id);  // same slot, new generation
+  q.cancel(old_id);           // stale id, recycled slot: no-op
+  EXPECT_EQ(q.size(), 1u);
+  q.run_next();
+  EXPECT_TRUE(fired);
+
+  // Same via cancel-driven recycling.
+  EventId a = q.schedule(3_ms, [] {});
+  q.cancel(a);
+  bool b_fired = false;
+  EventId b = q.schedule(4_ms, [&] { b_fired = true; });
+  q.cancel(a);  // stale again
+  EXPECT_EQ(q.size(), 1u);
+  q.run_next();
+  EXPECT_TRUE(b_fired);
+  // Stale reschedule is equally inert.
+  EXPECT_EQ(q.reschedule(b, 9_ms), kInvalidEventId);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RescheduleMovesEventAndInvalidatesOldId) {
+  EventQueue q;
+  std::vector<int> order;
+  EventId id = q.schedule(10_ms, [&] { order.push_back(1); });
+  q.schedule(5_ms, [&] { order.push_back(2); });
+  EventId moved = q.reschedule(id, 1_ms);
+  ASSERT_NE(moved, kInvalidEventId);
+  q.cancel(id);  // old id is dead; must not cancel the moved event
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RescheduleKeepsFifoParityWithCancelPlusSchedule) {
+  // A rescheduled event consumes a fresh sequence number, so among
+  // equal-time events it fires exactly where a cancel+schedule pair
+  // would have placed it: after events scheduled before the reschedule.
+  EventQueue q;
+  std::vector<int> order;
+  EventId id = q.schedule(9_ms, [&] { order.push_back(0); });
+  q.schedule(5_ms, [&] { order.push_back(1); });
+  q.reschedule(id, 5_ms);
+  q.schedule(5_ms, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
+}
+
+// Differential test: the slot-map queue against a naive sorted-vector
+// model, through a long randomized schedule/cancel/reschedule/run
+// workload including stale ids and equal-time groups.
+TEST(EventQueue, RandomizedDifferentialAgainstNaiveModel) {
+  struct ModelEvent {
+    int64_t at_ms;
+    uint64_t seq;
+    int tag;
+  };
+  std::mt19937_64 rng(20110501);
+  for (int round = 0; round < 20; ++round) {
+    EventQueue q;
+    std::vector<ModelEvent> model;  // unordered; popped by (at, seq)
+    uint64_t next_seq = 1;
+    // Live (queue id, model seq) pairs plus retired ids for stale probes.
+    std::vector<std::pair<EventId, uint64_t>> live;
+    std::vector<EventId> stale;
+    std::vector<int> queue_fired, model_fired;
+    int next_tag = 0;
+
+    auto model_pop = [&]() {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < model.size(); ++i) {
+        if (model[i].at_ms < model[best].at_ms ||
+            (model[i].at_ms == model[best].at_ms &&
+             model[i].seq < model[best].seq)) {
+          best = i;
+        }
+      }
+      ModelEvent e = model[best];
+      model.erase(model.begin() + static_cast<std::ptrdiff_t>(best));
+      return e;
+    };
+
+    for (int step = 0; step < 400; ++step) {
+      const uint64_t action = rng() % 100;
+      if (action < 45 || live.empty()) {
+        // Schedule. Times collide on purpose (mod 16) to exercise FIFO.
+        const int64_t at_ms = static_cast<int64_t>(rng() % 16);
+        const int tag = next_tag++;
+        EventId id = q.schedule(Time::milliseconds(at_ms),
+                                [&queue_fired, tag] {
+                                  queue_fired.push_back(tag);
+                                });
+        model.push_back({at_ms, next_seq, tag});
+        live.emplace_back(id, next_seq);
+        ++next_seq;
+      } else if (action < 60) {
+        // Cancel a live event.
+        const std::size_t i = rng() % live.size();
+        q.cancel(live[i].first);
+        stale.push_back(live[i].first);
+        const uint64_t seq = live[i].second;
+        std::erase_if(model, [seq](const ModelEvent& e) {
+          return e.seq == seq;
+        });
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      } else if (action < 72) {
+        // Reschedule a live event: same tag, new time, fresh seq.
+        const std::size_t i = rng() % live.size();
+        const int64_t at_ms = static_cast<int64_t>(rng() % 16);
+        EventId moved = q.reschedule(live[i].first, Time::milliseconds(at_ms));
+        ASSERT_NE(moved, kInvalidEventId);
+        stale.push_back(live[i].first);
+        for (auto& e : model) {
+          if (e.seq == live[i].second) {
+            e.at_ms = at_ms;
+            e.seq = next_seq;
+          }
+        }
+        live[i] = {moved, next_seq};
+        ++next_seq;
+      } else if (action < 82 && !stale.empty()) {
+        // Poke with stale ids: cancel and reschedule must both no-op.
+        const EventId id = stale[rng() % stale.size()];
+        q.cancel(id);
+        EXPECT_EQ(q.reschedule(id, Time::milliseconds(1)), kInvalidEventId);
+      } else if (!q.empty()) {
+        // Run the earliest event; drop it from the live set.
+        const Time t = q.run_next();
+        const ModelEvent e = model_pop();
+        model_fired.push_back(e.tag);
+        EXPECT_EQ(t.ms(), e.at_ms);
+        std::erase_if(live, [&](const auto& p) { return p.second == e.seq; });
+      }
+      ASSERT_EQ(q.size(), model.size());
+      ASSERT_EQ(q.empty(), model.empty());
+      if (!model.empty()) {
+        int64_t best = model[0].at_ms;
+        for (const auto& e : model) best = std::min(best, e.at_ms);
+        ASSERT_EQ(q.next_time().ms(), best);
+      } else {
+        ASSERT_TRUE(q.next_time().is_infinite());
+      }
+    }
+    // Drain.
+    while (!q.empty()) {
+      const Time t = q.run_next();
+      const ModelEvent e = model_pop();
+      model_fired.push_back(e.tag);
+      EXPECT_EQ(t.ms(), e.at_ms);
+    }
+    EXPECT_EQ(queue_fired, model_fired);
+  }
 }
 
 }  // namespace

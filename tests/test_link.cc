@@ -106,7 +106,7 @@ TEST(Path, RoundTripThroughBothLinks) {
     Segment ack;
     ack.is_ack = true;
     ack.ack = 1000;
-    path.send_ack(ack);
+    path.send_ack(std::move(ack));
   });
   path.set_ack_sink([&](Segment) { ack_arrival = sim.now(); });
   path.send_data(data_seg(0, 1000));
@@ -126,7 +126,7 @@ TEST(Path, KillClientSilencesAcks) {
   path.kill_client();
   Segment ack;
   ack.is_ack = true;
-  path.send_ack(ack);
+  path.send_ack(std::move(ack));
   sim.run();
   EXPECT_EQ(acks, 0);
 }

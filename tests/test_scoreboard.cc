@@ -14,7 +14,7 @@ net::Segment make_ack(uint64_t cum, std::vector<net::SackBlock> sacks = {},
   net::Segment a;
   a.is_ack = true;
   a.ack = cum;
-  a.sacks = std::move(sacks);
+  a.sacks.assign(sacks.begin(), sacks.end());
   a.dsack = dsack;
   return a;
 }

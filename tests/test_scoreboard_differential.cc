@@ -58,7 +58,7 @@ net::Segment make_ack(uint64_t cum,
   net::Segment a;
   a.is_ack = true;
   a.ack = cum;
-  a.sacks = std::move(sacks);
+  a.sacks.assign(sacks.begin(), sacks.end());
   return a;
 }
 

@@ -48,7 +48,7 @@ class SenderTest : public ::testing::Test {
     net::Segment a;
     a.is_ack = true;
     a.ack = cum;
-    a.sacks = std::move(sacks);
+    a.sacks.assign(sacks.begin(), sacks.end());
     a.dsack = dsack;
     a.rwnd = 1 << 30;
     return a;

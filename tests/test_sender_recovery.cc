@@ -47,7 +47,7 @@ class SenderRecoveryTest : public ::testing::Test {
     net::Segment a;
     a.is_ack = true;
     a.ack = cum;
-    a.sacks = std::move(sacks);
+    a.sacks.assign(sacks.begin(), sacks.end());
     a.dsack = dsack;
     a.rwnd = 1 << 30;
     return a;

@@ -44,7 +44,7 @@ class TlpTest : public ::testing::Test {
     net::Segment a;
     a.is_ack = true;
     a.ack = cum;
-    a.sacks = std::move(sacks);
+    a.sacks.assign(sacks.begin(), sacks.end());
     a.rwnd = 1 << 30;
     return a;
   }
