@@ -1,0 +1,202 @@
+// Tracing overhead at sweep scale: the same fixed web sweep run with the
+// flight recorder detached and attached (RunOptions::trace), verifying
+// the aggregates are byte-identical both ways and reporting the
+// wall-clock delta. Emits machine-readable BENCH_TRACE.json so future
+// PRs can track the enabled-tracing tax (acceptance: <= 10% per-ACK;
+// a PRR_TRACING=OFF build must show ~0 records and ~0 overhead).
+//
+// Env overrides: TRACE_CONNECTIONS (default 2000), TRACE_REPEATS
+// (default 3, best-of), BENCH_TRACE_JSON (output path, default
+// "BENCH_TRACE.json").
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "http/server_app.h"
+#include "obs/flight_recorder.h"
+#include "obs/instrument.h"
+#include "tcp/connection.h"
+#include "workload/web_workload.h"
+
+using namespace prr;
+
+namespace {
+
+uint64_t fingerprint(const exp::ArmResult& r) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(r.metrics.data_segments_sent);
+  mix(r.metrics.retransmits_total);
+  mix(r.metrics.timeouts_total);
+  mix(r.total_workload_bytes);
+  mix(static_cast<uint64_t>(r.recovery_log.count()));
+  mix(static_cast<uint64_t>(r.latency.responses().size()));
+  mix(static_cast<uint64_t>(r.total_network_transmit_time.ns()));
+  return h;
+}
+
+struct Measurement {
+  double seconds = 0;
+  uint64_t digest = 0;
+  uint64_t records = 0;
+  uint64_t acks = 0;
+};
+
+Measurement run_once(const workload::Population& pop,
+                     const exp::RunOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const exp::ArmResult r =
+      exp::run_arm(pop, exp::ArmConfig::prr_arm(), opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  Measurement m;
+  m.seconds = std::chrono::duration<double>(t1 - t0).count();
+  m.digest = fingerprint(r);
+  const obs::Counter* written =
+      r.registry.find_counter("obs.trace.records_written");
+  m.records = written != nullptr ? written->value() : 0;
+  m.acks = r.metrics.data_segments_sent;  // ~1 ACK per data segment
+  return m;
+}
+
+Measurement best_of(const workload::Population& pop,
+                    const exp::RunOptions& opts, int repeats) {
+  Measurement best = run_once(pop, opts);
+  for (int i = 1; i < repeats; ++i) {
+    const Measurement m = run_once(pop, opts);
+    if (m.seconds < best.seconds) best = m;
+  }
+  return best;
+}
+
+// Single-connection micro measurement (the per-ACK acceptance basis):
+// the same 100 kB transfer as micro_perack_cost's BM_ConnectionRun,
+// repeated back to back with the recorder detached or attached to one
+// hoisted ring. Returns seconds per connection.
+double micro_seconds_per_conn(bool traced, int iters, uint64_t* records) {
+  obs::FlightRecorder recorder(4096);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    recorder.clear();
+    sim::Simulator sim;
+    tcp::ConnectionConfig cfg;
+    cfg.path = net::Path::Config::symmetric(util::DataRate::mbps(10),
+                                            sim::Time::milliseconds(40),
+                                            /*queue_packets=*/100);
+    tcp::Connection conn(sim, cfg, sim::Rng(5));
+    std::optional<obs::Instrument> instrument;
+    if (traced) instrument.emplace(sim, conn, recorder, /*conn_id=*/0);
+    std::vector<http::ResponseSpec> responses(1);
+    responses[0].bytes = 100'000;
+    http::ServerApp app(sim, conn, responses);
+    app.start();
+    sim.run(sim::Time::seconds(30));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  *records = recorder.total_written();  // last iteration's ring
+  return std::chrono::duration<double>(t1 - t0).count() / iters;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Trace overhead: flight recorder attached vs detached",
+      "wall-clock tax of per-connection tracing over a fixed web sweep; "
+      "aggregates must be byte-identical with tracing on or off");
+
+  const char* conn_env = std::getenv("TRACE_CONNECTIONS");
+  const char* rep_env = std::getenv("TRACE_REPEATS");
+  const char* json_env = std::getenv("BENCH_TRACE_JSON");
+  const int connections = conn_env ? std::atoi(conn_env) : 2000;
+  const int repeats = rep_env ? std::atoi(rep_env) : 3;
+  const std::string json_path = json_env ? json_env : "BENCH_TRACE.json";
+
+  workload::WebWorkload pop;
+  exp::RunOptions opts;
+  opts.connections = connections;
+  opts.seed = 20110501;
+  opts.threads = 1;  // serial: overhead unobscured by scheduling
+
+  std::printf("tracing compiled %s, %d connections, best of %d\n\n",
+              obs::trace_compiled_in() ? "IN" : "OUT", connections, repeats);
+
+  const Measurement off = best_of(pop, opts, repeats);
+  opts.trace = true;
+  const Measurement on = best_of(pop, opts, repeats);
+
+  const bool identical = off.digest == on.digest;
+  const double overhead_pct =
+      off.seconds > 0 ? (on.seconds / off.seconds - 1.0) * 100.0 : 0;
+  const double ns_per_record =
+      on.records > 0 ? (on.seconds - off.seconds) * 1e9 /
+                           static_cast<double>(on.records)
+                     : 0;
+
+  std::printf("trace off: %8.3fs\n", off.seconds);
+  std::printf("trace on:  %8.3fs  (%+.2f%%)\n", on.seconds, overhead_pct);
+  std::printf("records:   %llu (%.1f per connection, ~%.1f ns each)\n",
+              static_cast<unsigned long long>(on.records),
+              static_cast<double>(on.records) / connections, ns_per_record);
+  std::printf("aggregates identical tracing on/off: %s\n",
+              identical ? "yes" : "NO — TRACING PERTURBED THE SIMULATION");
+
+  // Micro: one 100 kB connection, instrumented vs bare (best of repeats).
+  const int micro_iters = 500;
+  uint64_t micro_records = 0;
+  double micro_off = 1e9;
+  double micro_on = 1e9;
+  for (int i = 0; i < repeats; ++i) {
+    uint64_t ignored = 0;
+    const double off_s = micro_seconds_per_conn(false, micro_iters, &ignored);
+    const double on_s =
+        micro_seconds_per_conn(true, micro_iters, &micro_records);
+    if (off_s < micro_off) micro_off = off_s;
+    if (on_s < micro_on) micro_on = on_s;
+  }
+  const double micro_pct = (micro_on / micro_off - 1.0) * 100.0;
+  std::printf("\nmicro (100 kB connection, best of %d x %d):\n", repeats,
+              micro_iters);
+  std::printf("untraced: %7.2f us/conn\n", micro_off * 1e6);
+  std::printf("traced:   %7.2f us/conn  (%+.2f%%, %llu records/conn)\n",
+              micro_on * 1e6, micro_pct,
+              (unsigned long long)micro_records);
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"trace_overhead\",\n"
+               "  \"trace_compiled_in\": %s,\n"
+               "  \"connections\": %d,\n"
+               "  \"repeats\": %d,\n"
+               "  \"seconds_trace_off\": %.4f,\n"
+               "  \"seconds_trace_on\": %.4f,\n"
+               "  \"overhead_pct\": %.2f,\n"
+               "  \"records_written\": %llu,\n"
+               "  \"ns_per_record\": %.1f,\n"
+               "  \"micro_us_per_conn_untraced\": %.2f,\n"
+               "  \"micro_us_per_conn_traced\": %.2f,\n"
+               "  \"micro_overhead_pct\": %.2f,\n"
+               "  \"micro_records_per_conn\": %llu,\n"
+               "  \"aggregates_identical\": %s\n"
+               "}\n",
+               obs::trace_compiled_in() ? "true" : "false", connections,
+               repeats, off.seconds, on.seconds, overhead_pct,
+               static_cast<unsigned long long>(on.records), ns_per_record,
+               micro_off * 1e6, micro_on * 1e6, micro_pct,
+               static_cast<unsigned long long>(micro_records),
+               identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return identical ? 0 : 1;
+}

@@ -9,6 +9,8 @@
 
 #include "core/prr.h"
 #include "http/server_app.h"
+#include "obs/flight_recorder.h"
+#include "obs/instrument.h"
 #include "sim/simulator.h"
 #include "tcp/connection.h"
 #include "tcp/invariants.h"
@@ -235,6 +237,57 @@ void BM_ConnectionRun(benchmark::State& state) {
 }
 BENCHMARK(BM_ConnectionRun)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMicrosecond);
+
+// Raw flight-recorder write: one 64-byte masked ring store plus the
+// per-type counter — the ceiling on what any PRR_TRACE site can cost.
+// Must report allocs_per_op == 0.
+void BM_FlightRecorderWrite(benchmark::State& state) {
+  prr::obs::FlightRecorder rec(4096);
+  int64_t t = 0;
+  AllocsPerOp allocs(state);
+  for (auto _ : state) {
+    rec.write(prr::obs::make_record(prr::sim::Time::nanoseconds(++t), 1,
+                                    prr::obs::TraceType::kAck, 2, 0, 1000,
+                                    14608, 10000, 7304, 1460, 20000));
+  }
+  benchmark::DoNotOptimize(rec.total_written());
+}
+BENCHMARK(BM_FlightRecorderWrite);
+
+// The same 100 kB connection as BM_ConnectionRun/0, with the full
+// observability stack attached (flight recorder on the sender and the
+// fault injector path, wire tap, timer tracing). Compare against
+// BM_ConnectionRun/0 for the enabled-tracing overhead; under a
+// PRR_TRACING=OFF build records_per_iter reports ~0 and the two must
+// match to the noise floor. BENCH_TRACE.json (bench_trace_overhead)
+// records the sweep-level version of this comparison.
+void BM_ConnectionRunTraced(benchmark::State& state) {
+  uint64_t records = 0;
+  // One ring for the whole run, cleared per connection — the same shape
+  // the sweep harness uses, so this measures steady-state tracing cost,
+  // not ring construction.
+  prr::obs::FlightRecorder recorder(4096);
+  for (auto _ : state) {
+    recorder.clear();
+    prr::sim::Simulator sim;
+    prr::tcp::ConnectionConfig cfg;
+    cfg.path = prr::net::Path::Config::symmetric(
+        prr::util::DataRate::mbps(10), prr::sim::Time::milliseconds(40),
+        /*queue_packets=*/100);
+    prr::tcp::Connection conn(sim, cfg, prr::sim::Rng(5));
+    prr::obs::Instrument instrument(sim, conn, recorder, /*conn_id=*/0);
+    std::vector<prr::http::ResponseSpec> responses(1);
+    responses[0].bytes = 100'000;
+    prr::http::ServerApp app(sim, conn, responses);
+    app.start();
+    sim.run(prr::sim::Time::seconds(30));
+    records += recorder.total_written();
+    benchmark::DoNotOptimize(conn.sender().all_acked());
+  }
+  state.counters["records_per_iter"] =
+      static_cast<double>(records) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ConnectionRunTraced)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -13,6 +13,12 @@
 // one synthetic violation (connection 7, third ACK) to show the machinery
 // end to end. Run with --no-inject to do an honest sweep.
 //
+// Each quarantined connection also carries the tail of its flight
+// recorder — the last few hundred trace records leading up to the
+// violation. This example prints that tail (one line per record) and
+// writes it as Chrome trace-event JSON you can drop into
+// https://ui.perfetto.dev to scrub through the failure visually.
+//
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/replay_quarantine
@@ -21,6 +27,7 @@
 
 #include "exp/experiment.h"
 #include "exp/scenarios.h"
+#include "obs/trace_record.h"
 #include "workload/web_workload.h"
 
 using namespace prr;
@@ -41,6 +48,11 @@ int main(int argc, char** argv) {
   opts.check_invariants = true;
   opts.threads = 0;  // parallel sweep: byte-identical to serial
   opts.scenario = spec.name;
+  // Checked runs always carry a flight recorder; size the ring so the
+  // injected early-ACK violation is still in the end-of-run tail.
+  opts.trace = true;
+  opts.trace_ring_records = 1u << 16;
+  opts.trace_tail_records = 1u << 16;
   if (inject) {
     opts.inject_violation_connection = 7;
     opts.inject_violation_on_ack = 3;
@@ -70,6 +82,32 @@ int main(int argc, char** argv) {
   for (std::size_t a = 0; a < arms.size(); ++a) {
     for (const exp::QuarantineRecord& rec : results[a].quarantined) {
       std::printf("\nquarantined: %s\n", rec.summary().c_str());
+
+      // The flight-recorder tail: what the connection was doing in the
+      // run-up to the violation, newest records last. Show the final
+      // stretch; the full tail goes into the Perfetto JSON below.
+      if (!rec.trace_tail.empty()) {
+        const std::size_t show = rec.trace_tail.size() < 12
+                                     ? rec.trace_tail.size()
+                                     : std::size_t{12};
+        std::printf("flight-recorder tail (%zu records, last %zu shown):\n",
+                    rec.trace_tail.size(), show);
+        for (std::size_t i = rec.trace_tail.size() - show;
+             i < rec.trace_tail.size(); ++i) {
+          std::printf("  %s\n", obs::describe(rec.trace_tail[i]).c_str());
+        }
+        char path[64];
+        std::snprintf(path, sizeof(path), "quarantine_conn%llu_trace.json",
+                      (unsigned long long)rec.connection_id);
+        if (std::FILE* f = std::fopen(path, "w")) {
+          const std::string json = rec.trace_json();
+          std::fwrite(json.data(), 1, json.size(), f);
+          std::fclose(f);
+          std::printf("wrote %s -- open it at https://ui.perfetto.dev\n",
+                      path);
+        }
+      }
+
       exp::ReplayResult replay = experiment.replay(arms[a], rec);
       const bool ok = replay.reproduced(rec);
       std::printf("replay: %zu violation(s), %llu ACKs checked -> %s\n",

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -12,6 +13,9 @@
 #include "net/fault_injector.h"
 #include "net/loss_model.h"
 #include "net/reorder_model.h"
+#include "obs/flight_recorder.h"
+#include "obs/perfetto.h"
+#include "obs/self_profile.h"
 #include "sim/simulator.h"
 #include "tcp/connection.h"
 
@@ -30,6 +34,7 @@ void ArmResult::merge(ArmResult&& shard) {
                      std::make_move_iterator(shard.quarantined.end()));
   invariant_violations += shard.invariant_violations;
   acks_checked += shard.acks_checked;
+  registry.merge(shard.registry);
 }
 
 double ArmResult::fraction_bytes_in_fast_recovery() const {
@@ -61,6 +66,10 @@ std::string QuarantineRecord::summary() const {
     out += "\n    faults: " + fault_summary;
   }
   return out;
+}
+
+std::string QuarantineRecord::trace_json() const {
+  return obs::perfetto_trace_json(trace_tail);
 }
 
 bool ReplayResult::reproduced(const QuarantineRecord& rec) const {
@@ -113,99 +122,190 @@ struct ConnectionOutcome {
   uint64_t acks_checked = 0;
   bool aborted = false;
   bool all_acked = false;
+  std::string exception;  // non-empty if the connection threw
+  std::vector<obs::TraceRecord> trace_tail;  // captured only on failure
 };
+
+// Folds one finished connection into the arm's named-instrument view.
+// Every input is a deterministic function of (seed, id, arm), and the
+// registry merge is commutative per name, so the per-arm totals below
+// are byte-identical at any thread count and reconcile exactly with the
+// tcp::Metrics accumulator (`delta` is this connection's contribution).
+void fold_connection_registry(obs::MetricsRegistry& reg,
+                              const tcp::Metrics& delta,
+                              const tcp::Sender& sender, sim::Time ran_for) {
+  reg.counter("tcp.data_segments_sent")->add(delta.data_segments_sent);
+  reg.counter("tcp.bytes_sent")->add(delta.bytes_sent);
+  reg.counter("tcp.retransmits_total")->add(delta.retransmits_total);
+  reg.counter("tcp.fast_retransmits")->add(delta.fast_retransmits);
+  reg.counter("tcp.timeouts_total")->add(delta.timeouts_total);
+  reg.counter("tcp.fast_recovery_events")->add(delta.fast_recovery_events);
+  reg.counter("tcp.undo_events")->add(delta.undo_events);
+  reg.counter("tcp.dsacks_received")->add(delta.dsacks_received);
+  reg.counter("exp.connections_run")->inc();
+  if (sender.aborted()) reg.counter("exp.connections_aborted")->inc();
+  if (sender.all_acked()) reg.counter("exp.connections_completed")->inc();
+  reg.histogram("tcp.retransmits_per_conn")->record(delta.retransmits_total);
+  reg.histogram("tcp.timeouts_per_conn")->record(delta.timeouts_total);
+  reg.histogram("tcp.final_cwnd_bytes")->record(sender.cwnd_bytes());
+  reg.histogram("exp.conn_sim_time_ns")
+      ->record(static_cast<uint64_t>(ran_for.ns()));
+  obs::Gauge* g = reg.gauge("exp.max_conn_sim_time_ns");
+  if (ran_for.ns() > g->value()) g->set(ran_for.ns());
+}
 
 // Runs connection `id` of the (pop, arm, opts) experiment — the one place
 // both the sweep and quarantine replay go through, so a replay is the
 // exact computation the original run performed. `result` may be null
 // (replay mode: no aggregation). `force_check` enables the invariant
-// checker regardless of opts.check_invariants.
+// checker regardless of opts.check_invariants. Exceptions are caught
+// here (not in the caller) so the flight-recorder tail can be captured
+// after the stack unwinds.
 ConnectionOutcome run_one_connection(const workload::Population& pop,
                                      const ArmConfig& arm,
                                      const RunOptions& opts, uint64_t id,
-                                     bool force_check, ArmResult* result) {
+                                     bool force_check, ArmResult* result,
+                                     obs::FlightRecorder* shared_recorder) {
   ConnectionOutcome outcome;
+  const bool check = force_check || opts.check_invariants;
 
-  // Common random numbers: the sample and all network randomness derive
-  // from (seed, id), independent of the arm.
-  sim::Rng conn_rng = sim::Rng(opts.seed).fork(id);
-  workload::ConnectionSample sample = pop.sample(conn_rng.fork(100));
-  if (result != nullptr) {
-    for (const auto& resp : sample.responses) {
-      result->total_workload_bytes += resp.bytes;
+  // The recorder outlives the connection (declared before the try) so a
+  // throwing connection still leaves a readable tail. Checked runs get
+  // one even without opts.trace: quarantine artifacts always carry the
+  // events leading up to the failure. Sweeps pass a shard-owned ring
+  // (cleared per connection) so short transfers don't pay a ring
+  // allocation each; one-off callers get a local ring.
+  std::optional<obs::FlightRecorder> local_recorder;
+  obs::FlightRecorder* recorder = nullptr;
+  if (opts.trace || check) {
+    if (shared_recorder != nullptr) {
+      shared_recorder->clear();
+      recorder = shared_recorder;
+    } else {
+      local_recorder.emplace(opts.trace_ring_records);
+      recorder = &*local_recorder;
     }
   }
-  outcome.fault_summary = sample.faults.describe();
 
-  sim::Simulator sim;
-  tcp::Connection conn(sim, make_connection_config(sample, arm),
-                       conn_rng.fork(101),
-                       result != nullptr ? &result->metrics : nullptr,
-                       result != nullptr ? &result->recovery_log : nullptr);
-
-  // Network impairments, seeded independently of the arm.
-  {
-    auto composite = std::make_unique<net::CompositeLoss>();
-    bool any = false;
-    if (sample.loss.p_good_to_bad > 0 || sample.loss.loss_in_good > 0) {
-      composite->add(std::make_unique<net::GilbertElliottLoss>(
-          sample.loss, conn_rng.fork(102)));
-      any = true;
+  try {
+    // Common random numbers: the sample and all network randomness derive
+    // from (seed, id), independent of the arm.
+    sim::Rng conn_rng = sim::Rng(opts.seed).fork(id);
+    workload::ConnectionSample sample = pop.sample(conn_rng.fork(100));
+    if (result != nullptr) {
+      for (const auto& resp : sample.responses) {
+        result->total_workload_bytes += resp.bytes;
+      }
     }
-    if (sample.outages) {
-      composite->add(std::make_unique<net::OutageLoss>(
-          sim, sample.outage, conn_rng.fork(104)));
-      any = true;
+    outcome.fault_summary = sample.faults.describe();
+
+    sim::Simulator sim;
+    tcp::Connection conn(sim, make_connection_config(sample, arm),
+                         conn_rng.fork(101),
+                         result != nullptr ? &result->metrics : nullptr,
+                         result != nullptr ? &result->recovery_log : nullptr);
+    if (recorder) {
+      conn.sender().set_recorder(recorder, static_cast<uint32_t>(id));
     }
-    if (any) {
-      conn.path().data_link().set_loss_model(std::move(composite));
+    // Snapshot for the per-connection delta folded into the registry
+    // (the Metrics accumulator is shared across the shard).
+    const tcp::Metrics metrics_before =
+        result != nullptr ? result->metrics : tcp::Metrics{};
+
+    obs::SelfProfiler profiler;
+    if (opts.self_profile && result != nullptr) {
+      profiler.attach(sim);
+      profiler.attach(conn.sender());
     }
-  }
-  if (sample.reorder_prob > 0) {
-    conn.path().data_link().set_reorder_model(
-        std::make_unique<net::RandomReorder>(
-            sample.reorder_prob, sample.reorder_min, sample.reorder_max,
-            conn_rng.fork(103)));
-  }
 
-  // Time-varying path dynamics (chaos scenarios).
-  net::FaultInjector injector(sim, conn.path(), sample.faults);
-  if (!injector.schedule().empty()) injector.arm();
-
-  // The safety net: per-ACK invariant checking, quarantine on violation.
-  std::unique_ptr<tcp::InvariantChecker> checker;
-  if (force_check || opts.check_invariants) {
-    tcp::InvariantChecker::Config ccfg;
-    if (opts.inject_violation_connection >= 0 &&
-        static_cast<uint64_t>(opts.inject_violation_connection) == id) {
-      ccfg.inject_on_ack = opts.inject_violation_on_ack;
+    // Network impairments, seeded independently of the arm.
+    {
+      auto composite = std::make_unique<net::CompositeLoss>();
+      bool any = false;
+      if (sample.loss.p_good_to_bad > 0 || sample.loss.loss_in_good > 0) {
+        composite->add(std::make_unique<net::GilbertElliottLoss>(
+            sample.loss, conn_rng.fork(102)));
+        any = true;
+      }
+      if (sample.outages) {
+        composite->add(std::make_unique<net::OutageLoss>(
+            sim, sample.outage, conn_rng.fork(104)));
+        any = true;
+      }
+      if (any) {
+        conn.path().data_link().set_loss_model(std::move(composite));
+      }
     }
-    checker = std::make_unique<tcp::InvariantChecker>(sim, conn.sender(),
-                                                      ccfg);
+    if (sample.reorder_prob > 0) {
+      conn.path().data_link().set_reorder_model(
+          std::make_unique<net::RandomReorder>(
+              sample.reorder_prob, sample.reorder_min, sample.reorder_max,
+              conn_rng.fork(103)));
+    }
+
+    // Time-varying path dynamics (chaos scenarios).
+    net::FaultInjector injector(sim, conn.path(), sample.faults);
+    if (recorder) {
+      injector.set_recorder(recorder, static_cast<uint32_t>(id));
+    }
+    if (!injector.schedule().empty()) injector.arm();
+
+    // The safety net: per-ACK invariant checking, quarantine on violation.
+    std::unique_ptr<tcp::InvariantChecker> checker;
+    if (check) {
+      tcp::InvariantChecker::Config ccfg;
+      if (opts.inject_violation_connection >= 0 &&
+          static_cast<uint64_t>(opts.inject_violation_connection) == id) {
+        ccfg.inject_on_ack = opts.inject_violation_on_ack;
+      }
+      checker = std::make_unique<tcp::InvariantChecker>(sim, conn.sender(),
+                                                        ccfg);
+    }
+
+    http::ServerApp app(sim, conn, sample.responses,
+                        result != nullptr ? &result->latency : nullptr);
+    if (sample.client_abandons) {
+      sim.schedule_in(sample.abandon_after,
+                      [&conn] { conn.path().kill_client(); });
+    }
+    app.start();
+    sim.run(opts.per_connection_limit);
+
+    if (checker) {
+      checker->finalize();
+      outcome.violations = checker->violations();
+      outcome.acks_checked = checker->acks_checked();
+    }
+    outcome.aborted = conn.sender().aborted();
+    outcome.all_acked = conn.sender().all_acked();
+
+    if (result != nullptr) {
+      result->total_network_transmit_time +=
+          conn.sender().network_transmit_time();
+      result->total_loss_recovery_time += conn.sender().loss_recovery_time();
+      ++result->connections_run;
+
+      tcp::Metrics delta = result->metrics;
+      delta -= metrics_before;
+      fold_connection_registry(result->registry, delta, conn.sender(),
+                               sim.now());
+      if (recorder) {
+        result->registry.counter("obs.trace.records_written")
+            ->add(recorder->total_written());
+        result->registry.counter("obs.trace.records_dropped")
+            ->add(recorder->dropped());
+      }
+      if (opts.self_profile) profiler.export_into(result->registry);
+    }
+  } catch (const std::exception& e) {
+    outcome.exception = e.what();
+  } catch (...) {
+    outcome.exception = "unknown exception";
   }
 
-  http::ServerApp app(sim, conn, sample.responses,
-                      result != nullptr ? &result->latency : nullptr);
-  if (sample.client_abandons) {
-    sim.schedule_in(sample.abandon_after,
-                    [&conn] { conn.path().kill_client(); });
-  }
-  app.start();
-  sim.run(opts.per_connection_limit);
-
-  if (checker) {
-    checker->finalize();
-    outcome.violations = checker->violations();
-    outcome.acks_checked = checker->acks_checked();
-  }
-  outcome.aborted = conn.sender().aborted();
-  outcome.all_acked = conn.sender().all_acked();
-
-  if (result != nullptr) {
-    result->total_network_transmit_time +=
-        conn.sender().network_transmit_time();
-    result->total_loss_recovery_time += conn.sender().loss_recovery_time();
-    ++result->connections_run;
+  if (recorder &&
+      (!outcome.violations.empty() || !outcome.exception.empty())) {
+    outcome.trace_tail = recorder->tail(opts.trace_tail_records);
   }
   return outcome;
 }
@@ -216,19 +316,18 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
 void run_connection_range(const workload::Population& pop,
                           const ArmConfig& arm, const RunOptions& opts,
                           uint64_t begin, uint64_t end, ArmResult& result) {
+  // One ring per shard, cleared between connections — the sweep's trace
+  // cost is the record writes, not a per-connection ring allocation.
+  std::optional<obs::FlightRecorder> recorder;
+  if (opts.trace || opts.check_invariants) {
+    recorder.emplace(opts.trace_ring_records);
+  }
   for (uint64_t id = begin; id < end; ++id) {
-    ConnectionOutcome outcome;
-    std::string exception;
-    try {
-      outcome = run_one_connection(pop, arm, opts, id, /*force_check=*/false,
-                                   &result);
-    } catch (const std::exception& e) {
-      exception = e.what();
-    } catch (...) {
-      exception = "unknown exception";
-    }
+    ConnectionOutcome outcome = run_one_connection(
+        pop, arm, opts, id, /*force_check=*/false, &result,
+        recorder ? &*recorder : nullptr);
     result.acks_checked += outcome.acks_checked;
-    if (outcome.violations.empty() && exception.empty()) continue;
+    if (outcome.violations.empty() && outcome.exception.empty()) continue;
 
     // Quarantine: log enough to replay, keep the run going.
     QuarantineRecord rec;
@@ -238,7 +337,8 @@ void run_connection_range(const workload::Population& pop,
     rec.scenario = opts.scenario;
     rec.fault_summary = outcome.fault_summary;
     rec.violations = outcome.violations;
-    rec.exception = std::move(exception);
+    rec.exception = std::move(outcome.exception);
+    rec.trace_tail = std::move(outcome.trace_tail);
     result.invariant_violations += rec.violations.size();
     result.quarantined.push_back(std::move(rec));
   }
@@ -320,19 +420,16 @@ ReplayResult Experiment::replay(const ArmConfig& arm,
   ReplayResult replay;
   RunOptions opts = opts_;
   opts.seed = record.seed;  // the record pins the sample path
-  try {
-    ConnectionOutcome outcome =
-        run_one_connection(pop_, arm, opts, record.connection_id,
-                           /*force_check=*/true, /*result=*/nullptr);
-    replay.violations = std::move(outcome.violations);
-    replay.aborted = outcome.aborted;
-    replay.all_acked = outcome.all_acked;
-    replay.acks_checked = outcome.acks_checked;
-  } catch (const std::exception& e) {
-    replay.exception = e.what();
-  } catch (...) {
-    replay.exception = "unknown exception";
-  }
+  ConnectionOutcome outcome =
+      run_one_connection(pop_, arm, opts, record.connection_id,
+                         /*force_check=*/true, /*result=*/nullptr,
+                         /*shared_recorder=*/nullptr);
+  replay.violations = std::move(outcome.violations);
+  replay.exception = std::move(outcome.exception);
+  replay.aborted = outcome.aborted;
+  replay.all_acked = outcome.all_acked;
+  replay.acks_checked = outcome.acks_checked;
+  replay.trace_tail = std::move(outcome.trace_tail);
   return replay;
 }
 

@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "core/prr.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_record.h"
 #include "sim/time.h"
 #include "stats/latency.h"
 #include "stats/recovery_log.h"
@@ -78,8 +80,14 @@ struct QuarantineRecord {
   std::string fault_summary;  // FaultSchedule::describe() of the sample
   std::vector<tcp::InvariantViolation> violations;
   std::string exception;  // non-empty if the connection threw
+  // Tail of the connection's flight recorder at the moment of failure
+  // (newest RunOptions::trace_tail_records records, oldest first). Empty
+  // in builds with tracing compiled out.
+  std::vector<obs::TraceRecord> trace_tail;
 
   std::string summary() const;
+  // The trace tail as Chrome trace-event JSON (ui.perfetto.dev).
+  std::string trace_json() const;
 };
 
 struct ArmResult {
@@ -99,6 +107,15 @@ struct ArmResult {
   std::vector<QuarantineRecord> quarantined;
   uint64_t invariant_violations = 0;  // total across the arm
   uint64_t acks_checked = 0;          // ACKs the checker examined
+
+  // Named-instrument view of the arm (DESIGN.md §8): per-connection
+  // counters/histograms under "tcp." and "exp.", recorder accounting
+  // under "obs.trace." (only when tracing ran), wall-clock profiles
+  // under "profile." (only with RunOptions::self_profile). The "tcp."
+  // and "exp." sections are deterministic — identical at any thread
+  // count and with tracing on or off — and the counter totals reconcile
+  // exactly with `metrics` (checked in CI by tools/obs_chaos_trace).
+  obs::MetricsRegistry registry;
 
   // Folds a shard covering a higher connection-id range into this one.
   // The parallel harness merges shards in ascending connection-id order,
@@ -150,6 +167,19 @@ struct RunOptions {
   // violation on its `inject_violation_on_ack`-th ACK (-1 = never).
   int64_t inject_violation_connection = -1;
   uint64_t inject_violation_on_ack = 1;
+
+  // Attach a flight recorder to every connection (a no-op statement per
+  // instrumentation site in builds with PRR_TRACING=OFF). Checked and
+  // replayed connections get a recorder regardless, so quarantine
+  // artifacts always carry their event tail. Tracing never changes the
+  // simulation: aggregates stay byte-identical with it on or off.
+  bool trace = false;
+  uint32_t trace_ring_records = 2048;  // ring capacity per connection
+  uint32_t trace_tail_records = 256;   // tail kept on quarantine/replay
+  // Wall-clock self-profiling (event-slice and per-ACK cost histograms)
+  // into ArmResult::registry under "profile.". Nondeterministic by
+  // nature; off by default so the registry stays reproducible.
+  bool self_profile = false;
 };
 
 // Outcome of re-running a single quarantined connection in isolation.
@@ -159,6 +189,9 @@ struct ReplayResult {
   bool aborted = false;
   bool all_acked = false;
   uint64_t acks_checked = 0;
+  // Recorder tail from the replayed connection (always captured on a
+  // failing replay; empty when tracing is compiled out).
+  std::vector<obs::TraceRecord> trace_tail;
 
   // The replay saw the same failure class the original run recorded.
   bool reproduced(const QuarantineRecord& rec) const;

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "net/loss_model.h"
+#include "obs/instrument.h"
 #include "sim/simulator.h"
 #include "tcp/connection.h"
 #include "trace/pcap.h"
@@ -64,14 +65,18 @@ FigureRun run_figure_scenario(const FigureScenario& scenario) {
   if (scenario.check_invariants) {
     checker = std::make_unique<tcp::InvariantChecker>(sim, conn.sender());
   }
-  run.trace.attach(sim, conn);
+  // Single instrumentation point: the time-sequence trace and the pcap
+  // writer both subscribe to the flight recorder's event stream.
+  obs::FlightRecorder recorder;
+  obs::Instrument instrument(sim, conn, recorder, /*conn_id=*/0);
+  run.trace.attach(instrument);
 
   std::ofstream pcap_file;
   std::unique_ptr<trace::PcapWriter> pcap;
   if (!scenario.pcap_path.empty()) {
     pcap_file.open(scenario.pcap_path, std::ios::binary);
     pcap = std::make_unique<trace::PcapWriter>(pcap_file);
-    pcap->attach(conn.path());
+    pcap->attach(instrument);
   }
 
   uint64_t total = 0;

@@ -1,5 +1,7 @@
 #include "net/fault_injector.h"
 
+#include <bit>
+
 namespace prr::net {
 
 void FaultInjector::arm() {
@@ -10,6 +12,10 @@ void FaultInjector::arm() {
 
 void FaultInjector::apply(const FaultEvent& e) {
   ++stats_.faults_applied;
+  PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kFault,
+            static_cast<uint8_t>(e.kind), 0,
+            static_cast<uint64_t>(e.duration.ns()),
+            std::bit_cast<uint64_t>(e.scale), e.queue_limit_packets);
   switch (e.kind) {
     case FaultKind::kBlackout: {
       ++stats_.blackouts;

@@ -11,6 +11,7 @@
 
 #include "net/fault_schedule.h"
 #include "net/path.h"
+#include "obs/flight_recorder.h"
 #include "sim/simulator.h"
 
 namespace prr::net {
@@ -37,6 +38,14 @@ class FaultInjector {
   const FaultSchedule& schedule() const { return schedule_; }
   const Stats& stats() const { return stats_; }
 
+  // Flight-recorder tap: every applied fault is written as a kFault
+  // record tagged with `conn_id`, so the Perfetto export shows fault
+  // windows on the same timeline as the TCP state they perturb.
+  void set_recorder(obs::FlightRecorder* recorder, uint32_t conn_id) {
+    recorder_ = recorder;
+    conn_id_ = conn_id;
+  }
+
  private:
   void apply(const FaultEvent& e);
 
@@ -44,6 +53,8 @@ class FaultInjector {
   Path& path_;
   FaultSchedule schedule_;
   Stats stats_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  uint32_t conn_id_ = 0;
   // Nesting depth per toggled state, so overlapping faults of the same
   // family (e.g. a flap burst overlapping a long blackout) do not clear
   // each other's gate early.

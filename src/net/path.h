@@ -10,6 +10,7 @@
 #include "net/ack_mangler.h"
 #include "net/link.h"
 #include "net/segment.h"
+#include "obs/flight_recorder.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -34,8 +35,18 @@ class Path {
 
   // Optional wire tap: sees every data segment and every ACK at the
   // moment it enters the network (before loss/queueing). Used by the
-  // pcap writer.
+  // pcap writer. For trace records prefer set_recorder — the recorder
+  // write is a handful of stores, the tap is a std::function dispatch
+  // per segment.
   std::function<void(const Segment&, bool is_ack, sim::Time at)> wire_tap;
+
+  // Optional flight recorder: when attached, every data segment and ACK
+  // entering the network writes a kWireData/kWireAck record (before the
+  // wire_tap fires).
+  void set_recorder(obs::FlightRecorder* recorder, uint32_t conn_id) {
+    recorder_ = recorder;
+    trace_conn_id_ = conn_id;
+  }
 
   // Endpoint attachment. Must both be set before traffic flows.
   void set_data_sink(Link::DeliverFn fn) { deliver_data_ = std::move(fn); }
@@ -68,6 +79,8 @@ class Path {
   std::unique_ptr<Link> data_link_;
   std::unique_ptr<Link> ack_link_;
   std::unique_ptr<AckMangler> ack_mangler_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  uint32_t trace_conn_id_ = 0;
   bool client_dead_ = false;
   bool ack_stalled_ = false;
   std::optional<Segment> stalled_ack_;

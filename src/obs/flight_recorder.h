@@ -1,0 +1,100 @@
+// Flight recorder: a preallocated power-of-two ring of fixed-size
+// TraceRecords (DESIGN.md §8). Writers pay a null check when tracing is
+// off and a bounds-masked store when on — never a heap allocation, so
+// the PR 3 steady-state zero-alloc invariant holds with tracing enabled
+// (tests/test_alloc_free.cc). When the ring wraps, the oldest records
+// are overwritten; `dropped()` counts them. Readers (Perfetto export,
+// quarantine tail capture, trace/timeseq) walk `size()` records oldest
+// first via `operator[]` or take the last N via `tail()`.
+//
+// Instrumentation sites use the PRR_TRACE macro rather than calling
+// write() directly: under -DPRR_TRACE_ENABLED=0 the whole statement —
+// including argument evaluation — compiles away, which is what keeps
+// the "tracing compiled out" build at zero overhead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "obs/trace_record.h"
+
+namespace prr::obs {
+
+#ifndef PRR_TRACE_ENABLED
+#define PRR_TRACE_ENABLED 1
+#endif
+
+constexpr bool trace_compiled_in() { return PRR_TRACE_ENABLED != 0; }
+
+#if PRR_TRACE_ENABLED
+// rec is a FlightRecorder*; the remaining arguments are forwarded to
+// make_record and are evaluated only when a recorder is attached.
+#define PRR_TRACE(rec, ...)                                   \
+  do {                                                        \
+    if (rec) (rec)->write(::prr::obs::make_record(__VA_ARGS__)); \
+  } while (0)
+#else
+#define PRR_TRACE(rec, ...) \
+  do {                      \
+  } while (0)
+#endif
+
+class FlightRecorder {
+ public:
+  // Capacity is rounded up to a power of two; the ring is allocated
+  // once here and never resized.
+  explicit FlightRecorder(std::size_t capacity_records = 4096);
+
+  void write(const TraceRecord& r) {
+    ring_[next_ & mask_] = r;
+    ++next_;
+    ++counts_[static_cast<std::size_t>(r.type)];
+    if (!listeners_.empty()) {
+      for (const auto& l : listeners_) l(r);
+    }
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+  // Records currently held (≤ capacity).
+  std::size_t size() const {
+    return next_ < ring_.size() ? next_ : ring_.size();
+  }
+  // Records ever written, including overwritten ones.
+  uint64_t total_written() const { return next_; }
+  uint64_t dropped() const {
+    return next_ < ring_.size() ? 0 : next_ - ring_.size();
+  }
+  uint64_t count(TraceType t) const {
+    return counts_[static_cast<std::size_t>(t)];
+  }
+
+  // i-th surviving record, oldest first (0 ≤ i < size()).
+  const TraceRecord& operator[](std::size_t i) const {
+    const uint64_t oldest = next_ - size();
+    return ring_[(oldest + i) & mask_];
+  }
+
+  // Last min(max_records, size()) records, oldest first. Copies; for
+  // post-mortem capture (quarantine artifacts), not the hot path.
+  std::vector<TraceRecord> tail(std::size_t max_records) const;
+
+  // Fan-out for setup-time subscribers (trace/timeseq, trace/pcap):
+  // each listener sees every record as it is written. Listeners must
+  // not allocate if the zero-alloc invariant matters to the caller.
+  void add_listener(std::function<void(const TraceRecord&)> l) {
+    listeners_.push_back(std::move(l));
+  }
+
+  void clear();
+
+ private:
+  std::vector<TraceRecord> ring_;
+  uint64_t mask_ = 0;
+  uint64_t next_ = 0;
+  uint64_t counts_[static_cast<std::size_t>(TraceType::kCount)] = {};
+  std::vector<std::function<void(const TraceRecord&)>> listeners_;
+};
+
+}  // namespace prr::obs

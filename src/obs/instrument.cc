@@ -1,0 +1,45 @@
+#include "obs/instrument.h"
+
+#include <utility>
+
+#include "net/fault_schedule.h"
+#include "tcp/invariants.h"
+
+namespace prr::obs {
+
+// obs/trace_record.cc names tcp/net enum values through local tables
+// (obs sits below those layers); this file sees both sides, so pin the
+// numeric correspondence here.
+static_assert(static_cast<int>(tcp::TcpState::kOpen) == 0 &&
+              static_cast<int>(tcp::TcpState::kLoss) == 3);
+static_assert(static_cast<int>(net::FaultKind::kBlackout) == 0 &&
+              static_cast<int>(net::FaultKind::kReceiverStall) == 5);
+static_assert(static_cast<int>(tcp::InvariantKind::kSndUnaRegressed) == 0 &&
+              static_cast<int>(tcp::InvariantKind::kInjected) == 7);
+
+Instrument::Instrument(sim::Simulator& sim, tcp::Connection& conn,
+                       FlightRecorder& recorder, uint32_t conn_id)
+    : sim_(sim), conn_(conn), recorder_(recorder), conn_id_(conn_id) {
+  conn_.sender().set_recorder(&recorder_, conn_id_);
+  conn_.path().set_recorder(&recorder_, conn_id_);
+}
+
+Instrument::~Instrument() {
+  conn_.sender().set_recorder(nullptr, 0);
+  conn_.path().set_recorder(nullptr, 0);
+  if (tap_installed_) conn_.path().wire_tap = std::move(prev_tap_);
+}
+
+void Instrument::add_wire_listener(WireListener l) {
+  wire_listeners_.push_back(std::move(l));
+  if (tap_installed_) return;
+  tap_installed_ = true;
+  prev_tap_ = std::move(conn_.path().wire_tap);
+  conn_.path().wire_tap = [this](const net::Segment& seg, bool is_ack,
+                                 sim::Time at) {
+    if (prev_tap_) prev_tap_(seg, is_ack, at);
+    for (const WireListener& wl : wire_listeners_) wl(seg, is_ack, at);
+  };
+}
+
+}  // namespace prr::obs

@@ -1,0 +1,126 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace prr::obs {
+
+uint64_t LogHistogram::approx_quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Upper edge of bucket b, clamped to the observed max.
+      const uint64_t edge =
+          b >= 64 ? max_ : (uint64_t{1} << b) - 1;
+      return std::min(edge, max_);
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LogHistogram* MetricsRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LogHistogram>();
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const LogHistogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name)->add(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge* mine = gauge(name);
+    mine->set(std::max(mine->value(), g->value()));
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name)->merge(*h);
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quote(name) + ':' + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quote(name) + ':' + std::to_string(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += json_quote(name) + ":{";
+    out += "\"count\":" + std::to_string(h->count());
+    out += ",\"sum\":" + std::to_string(h->sum());
+    out += ",\"min\":" + std::to_string(h->min());
+    out += ",\"max\":" + std::to_string(h->max());
+    out += ",\"mean\":" + json_double(h->mean());
+    out += ",\"p50\":" + std::to_string(h->approx_quantile(0.50));
+    out += ",\"p99\":" + std::to_string(h->approx_quantile(0.99));
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int b = 0; b < LogHistogram::kBuckets; ++b) {
+      if (h->bucket(b) == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += '[' + std::to_string(LogHistogram::bucket_floor(b)) + ',' +
+             std::to_string(h->bucket(b)) + ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace prr::obs

@@ -1,0 +1,132 @@
+// Metrics registry (DESIGN.md §8): named counters, gauges, and
+// log2-bucket histograms. Instruments are registered once at setup —
+// registration returns a pointer that stays valid for the registry's
+// lifetime — and sampled O(1) with no allocation on the hot path.
+// Registries merge deterministically (counters sum, gauges take the
+// max, histograms sum per bucket), mirroring how ArmResult shards
+// merge in connection-id order, so per-arm metric totals are
+// bit-identical at any worker-thread count. `to_json()` walks the
+// name-sorted maps, so the exported JSON is byte-stable too.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace prr::obs {
+
+class Counter {
+ public:
+  void add(uint64_t v) { value_ += v; }
+  void inc() { ++value_; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Last-written-wins locally; merge keeps the max across shards (the
+// only deterministic choice that is also useful for high-water marks).
+class Gauge {
+ public:
+  void set(int64_t v) { value_ = v; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Histogram over log2 buckets: a sample v lands in bucket bit_width(v)
+// (bucket 0 holds v == 0), i.e. bucket b spans [2^(b-1), 2^b). Record
+// is a handful of arithmetic ops — no allocation, no search — which is
+// what lets per-ACK cost and event-slice timings feed it from the hot
+// path. Covers the full uint64 range in 65 buckets.
+class LogHistogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void record(uint64_t v) {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  static int bucket_of(uint64_t v) {
+    int b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b;
+  }
+  // Inclusive lower edge of bucket b.
+  static uint64_t bucket_floor(int b) {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return min_; }
+  uint64_t max() const { return max_; }
+  uint64_t bucket(int b) const { return buckets_[b]; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  // Upper edge of the bucket containing the q-quantile (q in [0,1]) —
+  // log2 resolution, good enough for "p99 is ~2-4us" statements.
+  uint64_t approx_quantile(double q) const;
+
+  void merge(const LogHistogram& other);
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  MetricsRegistry(MetricsRegistry&&) = default;
+  MetricsRegistry& operator=(MetricsRegistry&&) = default;
+
+  // Idempotent: re-registering a name returns the existing instrument.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  LogHistogram* histogram(const std::string& name);
+
+  // nullptr when absent — for tests and reconciliation tools.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const LogHistogram* find_histogram(const std::string& name) const;
+
+  std::size_t instrument_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Deterministic by-name merge: counters sum, gauges max, histograms
+  // bucket-sum. Instruments present only in `other` are created.
+  void merge(const MetricsRegistry& other);
+
+  // {"counters":{...},"gauges":{...},"histograms":{...}} with keys in
+  // sorted order; histograms export count/sum/min/max/mean/p50/p99 and
+  // the non-empty buckets as [[floor,count],...].
+  std::string to_json() const;
+
+ private:
+  // std::map for sorted, pointer-stable instruments; lookups happen at
+  // registration time only, never per sample.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+};
+
+}  // namespace prr::obs

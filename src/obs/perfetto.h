@@ -1,0 +1,38 @@
+// Chrome trace-event JSON exporter, loadable in ui.perfetto.dev or
+// chrome://tracing. Layout: one process ("prr simulator", pid 1), one
+// thread track per connection (tid = connection id, named via "M"
+// metadata events), plus per-connection counter tracks:
+//
+//   "conn<id> window" — cwnd / pipe / ssthresh sampled at every ACK
+//   "conn<id> prr"    — prr_delivered / prr_out during fast recovery
+//
+// Recovery episodes render as "B"/"E" duration slices on the
+// connection's track; fault-injector actions as "X" complete slices
+// with their real duration; state changes, retransmits, RTO fires,
+// undo, abort, timer activity and invariant violations as "i" instant
+// events. Wire-level records (kWireData/kWireAck) are deliberately not
+// exported — at scale they dwarf everything else, and trace/pcap is
+// the right tool for packet-level views.
+//
+// Timestamps: trace-event "ts" is microseconds; simulation time is
+// nanoseconds, exported as fractional us with ns resolution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_record.h"
+
+namespace prr::obs {
+
+class FlightRecorder;
+
+// Records may span multiple connections and need not be sorted; events
+// are emitted in input order (the trace-event format does not require
+// sorting, viewers sort by ts).
+std::string perfetto_trace_json(const std::vector<TraceRecord>& records);
+
+// Everything currently held in the ring, oldest first.
+std::string perfetto_trace_json(const FlightRecorder& rec);
+
+}  // namespace prr::obs

@@ -1,0 +1,26 @@
+#include "obs/self_profile.h"
+
+#include "sim/simulator.h"
+#include "tcp/sender.h"
+
+namespace prr::obs {
+
+void SelfProfiler::attach(sim::Simulator& sim) {
+  sim.set_slice_profiler([this](int64_t ns) {
+    slice_ns_.record(ns < 0 ? 0 : static_cast<uint64_t>(ns));
+  });
+}
+
+void SelfProfiler::attach(tcp::Sender& sender) {
+  sender.on_ack_cost_hook = [this](int64_t ns) {
+    ack_ns_.record(ns < 0 ? 0 : static_cast<uint64_t>(ns));
+  };
+}
+
+void SelfProfiler::export_into(MetricsRegistry& registry,
+                               const std::string& prefix) const {
+  registry.histogram(prefix + ".slice_ns")->merge(slice_ns_);
+  registry.histogram(prefix + ".ack_ns")->merge(ack_ns_);
+}
+
+}  // namespace prr::obs

@@ -1,0 +1,49 @@
+// Simulator self-profiling: wall-clock cost of event-loop slices and of
+// per-ACK processing, recorded into log2 histograms and exported into a
+// MetricsRegistry. Both producers are pull-free hooks — Simulator and
+// Sender time themselves only while a profiler is attached, so the
+// unprofiled paths keep their zero-overhead guarantee. Wall-clock
+// samples are inherently nondeterministic, which is why they live in a
+// separate profiler object and are exported only when the caller asks
+// (RunOptions::self_profile); the deterministic registry contents are
+// never mixed with them implicitly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace prr::sim {
+class Simulator;
+}
+namespace prr::tcp {
+class Sender;
+}
+
+namespace prr::obs {
+
+class SelfProfiler {
+ public:
+  // Installs the simulator's slice-timing hook (duration of each
+  // executed event callback, ns).
+  void attach(sim::Simulator& sim);
+  // Installs the sender's per-ACK cost hook (duration of each
+  // on_ack_segment call, ns). May be called for several senders; their
+  // samples share one histogram.
+  void attach(tcp::Sender& sender);
+
+  const LogHistogram& slice_ns() const { return slice_ns_; }
+  const LogHistogram& ack_ns() const { return ack_ns_; }
+
+  // Copies the histograms into `registry` as "<prefix>.slice_ns" and
+  // "<prefix>.ack_ns".
+  void export_into(MetricsRegistry& registry,
+                   const std::string& prefix = "profile") const;
+
+ private:
+  LogHistogram slice_ns_;
+  LogHistogram ack_ns_;
+};
+
+}  // namespace prr::obs

@@ -1,0 +1,27 @@
+// `ss -i`-style one-connection state dump: congestion-control and
+// recovery algorithm, CA state, RTT estimator internals, window and
+// scoreboard occupancy — the same live-internals view "TCPTuner" argues
+// for, formatted close enough to Linux `ss -tin` that eyes trained on
+// production output parse it instantly. Pure inspection: reads only the
+// Sender's const accessors, touches nothing.
+#pragma once
+
+#include <string>
+
+namespace prr::tcp {
+class Sender;
+}
+
+namespace prr::obs {
+
+// Multi-line human-readable snapshot, e.g.
+//   conn 7 state:recovery
+//     cubic prr rto:204ms rtt:41.8/2.1ms mss:1430 dupthresh:3
+//     cwnd:14 ssthresh:7 pipe:11440 una:1250200 nxt:1310260 rwnd:65535
+//     sacked:3 lost:2 retrans:17 timers:rto
+std::string snapshot(const tcp::Sender& sender, uint32_t conn_id);
+
+// Single JSON object with the same fields, for machine consumption.
+std::string snapshot_json(const tcp::Sender& sender, uint32_t conn_id);
+
+}  // namespace prr::obs

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <chrono>
 #include <utility>
 
 namespace prr::sim {
@@ -31,13 +32,23 @@ bool Simulator::step(Time deadline) {
   // Advance the clock before dispatching so callbacks see now() == their
   // scheduled time (nested schedule_in must be relative to it).
   now_ = queue_.next_time();
-  queue_.run_next();
+  if (slice_profiler_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    queue_.run_next();
+    const auto t1 = std::chrono::steady_clock::now();
+    slice_profiler_(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+  } else {
+    queue_.run_next();
+  }
   ++events_processed_;
   return true;
 }
 
 void Timer::start(Time delay) {
   expiry_ = sim_->now() + delay;
+  if (trace_) trace_(kOpSchedule, expiry_);
   if (id_ != kInvalidEventId) {
     // Rearm in place: the armed event keeps its slot and callback.
     id_ = sim_->reschedule_in(delay, id_);
@@ -46,6 +57,7 @@ void Timer::start(Time delay) {
   id_ = sim_->schedule_in(delay, [this] {
     id_ = kInvalidEventId;
     expiry_ = Time::infinite();
+    if (trace_) trace_(kOpFire, sim_->now());
     on_expire_();
   });
 }
@@ -53,6 +65,7 @@ void Timer::start(Time delay) {
 void Timer::stop() {
   if (id_ != kInvalidEventId) {
     sim_->cancel(id_);
+    if (trace_) trace_(kOpCancel, expiry_);
     id_ = kInvalidEventId;
     expiry_ = Time::infinite();
   }

@@ -37,10 +37,19 @@ class Simulator {
   bool idle() const { return queue_.empty(); }
   uint64_t events_processed() const { return events_processed_; }
 
+  // Self-profiling tap (obs::SelfProfiler): when set, step() wall-clock
+  // times each event callback and reports the duration in nanoseconds.
+  // Unset (the default), step() pays one branch and takes no clock
+  // readings, so simulation behavior and performance are untouched.
+  void set_slice_profiler(std::function<void(int64_t ns)> profiler) {
+    slice_profiler_ = std::move(profiler);
+  }
+
  private:
   Time now_ = Time::zero();
   EventQueue queue_;
   uint64_t events_processed_ = 0;
+  std::function<void(int64_t)> slice_profiler_;
 };
 
 // RAII-free cancellable timer bound to a Simulator. Rescheduling cancels
@@ -62,9 +71,21 @@ class Timer {
   bool pending() const { return id_ != kInvalidEventId; }
   Time expiry() const { return expiry_; }
 
+  // Trace tap (flight recorder): called with (op, expiry) on every arm
+  // (kOpSchedule, expiry = when it will fire), expiry (kOpFire), and
+  // explicit cancellation of a pending timer (kOpCancel). Unset by
+  // default; the armed-event fast path then pays nothing.
+  static constexpr uint8_t kOpSchedule = 0;
+  static constexpr uint8_t kOpFire = 1;
+  static constexpr uint8_t kOpCancel = 2;
+  void set_trace(std::function<void(uint8_t op, Time expiry)> trace) {
+    trace_ = std::move(trace);
+  }
+
  private:
   Simulator* sim_;
   std::function<void()> on_expire_;
+  std::function<void(uint8_t, Time)> trace_;
   EventId id_ = kInvalidEventId;
   Time expiry_ = Time::infinite();
 };

@@ -32,6 +32,13 @@ InvariantChecker::InvariantChecker(sim::Simulator& sim, Sender& sender,
 }
 
 void InvariantChecker::record(InvariantKind kind, std::string detail) {
+  // Mark the violation in the sender's flight recorder too, so the
+  // quarantine trace tail carries the failure point inline with the
+  // state transitions that led to it.
+  PRR_TRACE(sender_.recorder(), sim_.now(), sender_.conn_id(),
+            obs::TraceType::kInvariant, static_cast<uint8_t>(kind), 0,
+            sender_.snd_una(), sender_.snd_nxt(), sender_.cwnd_bytes(),
+            sender_.pipe_bytes());
   InvariantViolation v;
   v.kind = kind;
   v.at = sim_.now();

@@ -54,6 +54,10 @@ struct Metrics {
   uint64_t connections_aborted = 0;
 
   Metrics& operator+=(const Metrics& o);
+  // Counter-wise difference; with a before-snapshot of a shared
+  // accumulator this recovers one connection's contribution (used to
+  // feed per-connection values into the obs::MetricsRegistry).
+  Metrics& operator-=(const Metrics& o);
   // Deterministic shard merge for the parallel experiment harness: all
   // fields are sums, so merging per-worker accumulators in any order
   // reproduces the serial counters exactly.

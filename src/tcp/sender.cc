@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <deque>
 #include <utility>
 
@@ -63,6 +64,35 @@ Sender::Sender(sim::Simulator& sim, SenderConfig config, SendFn send,
     local_.field += (v);               \
     if (metrics_) metrics_->field += (v); \
   } while (0)
+
+void Sender::set_recorder(obs::FlightRecorder* recorder, uint32_t conn_id) {
+  recorder_ = recorder;
+  conn_id_ = conn_id;
+  traced_state_ = state_;
+#if PRR_TRACE_ENABLED
+  const struct {
+    sim::Timer* timer;
+    uint8_t id;
+  } timers[] = {{&rto_timer_, 0},
+                {&er_timer_, 1},
+                {&tlp_timer_, 2},
+                {&pacing_timer_, 3}};
+  for (const auto& [timer, id] : timers) {
+    if (recorder == nullptr) {
+      timer->set_trace(nullptr);
+      continue;
+    }
+    // kOpSchedule/kOpFire/kOpCancel align with the consecutive
+    // kTimerSchedule/kTimerFire/kTimerCancel trace types.
+    timer->set_trace([this, id = id](uint8_t op, sim::Time expiry) {
+      PRR_TRACE(recorder_, sim_.now(), conn_id_,
+                static_cast<obs::TraceType>(
+                    static_cast<uint8_t>(obs::TraceType::kTimerSchedule) + op),
+                id, 0, static_cast<uint64_t>(expiry.ns()));
+    });
+  }
+#endif
+}
 
 void Sender::write(uint64_t bytes) {
   if (aborted_ || bytes == 0) return;
@@ -204,6 +234,9 @@ void Sender::transmit(uint64_t start, uint64_t end, bool retx) {
   }
   if (!rto_timer_.pending()) rto_timer_.start(rto_est_.rto());
 
+  PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kTransmit,
+            retx ? 1 : 0, static_cast<uint16_t>(state_), start, len, cwnd_,
+            snd_nxt_);
   if (on_transmit_hook) on_transmit_hook(start, len, retx);
 
   net::Segment seg;
@@ -227,10 +260,37 @@ void Sender::transmit(uint64_t start, uint64_t end, bool retx) {
 }
 
 void Sender::on_ack_segment(const net::Segment& ack) {
+  if (!on_ack_cost_hook) {
+    process_ack(ack);
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  process_ack(ack);
+  const auto t1 = std::chrono::steady_clock::now();
+  on_ack_cost_hook(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+void Sender::process_ack(const net::Segment& ack) {
   if (aborted_) return;
   if (on_ack_hook) on_ack_hook(ack);
   if (ack.rwnd != 0) peer_rwnd_ = ack.rwnd;
   if (ack.ack < snd_una_) return;  // ancient ACK: ignore
+
+#if PRR_TRACE_ENABLED
+  if (recorder_ != nullptr) {
+    for (const net::SackBlock& blk : ack.sacks) {
+      recorder_->write(obs::make_record(sim_.now(), conn_id_,
+                                        obs::TraceType::kSackSeen, 0, 0,
+                                        blk.start, blk.end));
+    }
+    if (ack.dsack.has_value()) {
+      recorder_->write(obs::make_record(sim_.now(), conn_id_,
+                                        obs::TraceType::kSackSeen, 1, 0,
+                                        ack.dsack->start, ack.dsack->end));
+    }
+  }
+#endif
 
   burst_in_progress_ = 0;
 
@@ -271,6 +331,8 @@ void Sender::on_ack_segment(const net::Segment& ack) {
       er_timer_.stop();
       COUNT(er_delayed_cancelled);
     }
+    PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kUnaAdvance,
+              0, 0, snd_una_);
     if (on_una_advance_hook) on_una_advance_hook(snd_una_);
   } else if (out.newly_sacked_bytes > 0 || out.saw_dsack ||
              (!config_.sack_enabled && ack.ack == snd_una_ &&
@@ -331,6 +393,26 @@ void Sender::on_ack_segment(const net::Segment& ack) {
     if (!tlp_timer_.pending()) rto_timer_.start(rto_est_.rto());
     maybe_arm_tlp();
   }
+
+#if PRR_TRACE_ENABLED
+  if (recorder_ != nullptr) {
+    recorder_->write(obs::make_record(
+        sim_.now(), conn_id_, obs::TraceType::kAck,
+        static_cast<uint8_t>(state_), 0, ack.ack, cwnd_, effective_pipe(),
+        ssthresh_, out.delivered_bytes(), snd_nxt_));
+    if (state_ == TcpState::kRecovery) {
+      if (const auto* prr =
+              dynamic_cast<const PrrRecovery*>(policy_.get())) {
+        const core::PrrState& st = prr->state();
+        recorder_->write(obs::make_record(
+            sim_.now(), conn_id_, obs::TraceType::kPrr,
+            st.in_proportional_mode() ? 1 : 0,
+            static_cast<uint16_t>(st.bound()), st.prr_delivered(),
+            st.prr_out(), st.recover_fs(), st.ssthresh(), cwnd_));
+      }
+    }
+  }
+#endif
 
   if (on_post_ack_hook) on_post_ack_hook(ack);
 }
@@ -529,6 +611,9 @@ void Sender::enter_recovery(uint64_t delivered_on_trigger, bool via_er) {
   const uint64_t pipe = effective_pipe();
   const uint64_t flight = snd_nxt_ - snd_una_;
   policy_->on_enter(flight, ssthresh_, cwnd_, config_.mss);
+  PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kEnterRecovery,
+            via_er ? 1 : 0, 0, flight, ssthresh_, pipe, prior_cwnd_,
+            recovery_point_);
 
   current_event_ = stats::RecoveryEvent{};
   current_event_.start = sim_.now();
@@ -595,6 +680,10 @@ void Sender::exit_recovery() {
   current_event_.pipe_at_exit = pipe;
   cwnd_ = std::max<uint64_t>(policy_->exit_cwnd(pipe, cwnd_), config_.mss);
   current_event_.cwnd_after_exit = cwnd_;
+  PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kExitRecovery,
+            0, 0, cwnd_, pipe,
+            static_cast<uint64_t>(current_event_.retransmits),
+            current_event_.bytes_sent_during);
   finish_recovery_event(/*completed=*/true, /*timeout=*/false);
 
   state_ = scoreboard_.any_sacked() ? TcpState::kDisorder : TcpState::kOpen;
@@ -663,6 +752,8 @@ void Sender::undo_loss_state() {
   scoreboard_.clear_unretransmitted_loss_marks();
   COUNT(spurious_rto_undone);
   COUNT(undo_events);
+  PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kUndo, 1, 0,
+            cwnd_, ssthresh_);
   state_ = scoreboard_.any_sacked() ? TcpState::kDisorder
                                     : TcpState::kOpen;
   note_transmit_state_change();
@@ -675,6 +766,8 @@ void Sender::try_undo() {
   cwnd_ = std::max(cwnd_, prior_cwnd_);
   ssthresh_ = prior_ssthresh_;
   COUNT(undo_events);
+  PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kUndo, 0, 0,
+            cwnd_, ssthresh_);
   if (recovery_via_er_) COUNT(er_spurious);
   undo_valid_ = false;
   spurious_seen_ = false;
@@ -718,6 +811,10 @@ void Sender::on_rto() {
   if (aborted_) return;
   if (snd_una_ >= snd_nxt_) return;  // nothing outstanding (stale timer)
 
+  PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kRtoFired,
+            static_cast<uint8_t>(state_), 0, snd_una_, snd_nxt_, cwnd_,
+            static_cast<uint64_t>(rto_est_.backoff_count()),
+            static_cast<uint64_t>(rto_est_.rto().ns()));
   COUNT(timeouts_total);
   switch (state_) {
     case TcpState::kOpen:
@@ -771,6 +868,8 @@ void Sender::abort_connection() {
   aborted_ = true;
   ADD(failed_retransmits, retransmits_since_progress_);
   COUNT(connections_aborted);
+  PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kAbort, 0, 0,
+            snd_una_, snd_nxt_);
   rto_timer_.stop();
   er_timer_.stop();
   tlp_timer_.stop();
@@ -790,6 +889,15 @@ void Sender::grow_cwnd_open(uint64_t acked_bytes) {
 }
 
 void Sender::note_transmit_state_change() {
+  // Called after every state_ assignment, so this is the single point
+  // that sees all CA-state transitions.
+  if (state_ != traced_state_) {
+    PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kStateChange,
+              static_cast<uint8_t>(traced_state_),
+              static_cast<uint16_t>(state_), cwnd_, ssthresh_, snd_una_,
+              snd_nxt_);
+    traced_state_ = state_;
+  }
   const bool now_loss = !aborted_ && (state_ == TcpState::kRecovery ||
                                       state_ == TcpState::kLoss);
   if (now_loss && !in_loss_recovery_) {

@@ -17,6 +17,7 @@
 
 #include "core/prr.h"
 #include "net/segment.h"
+#include "obs/flight_recorder.h"
 #include "sim/simulator.h"
 #include "stats/recovery_log.h"
 #include "tcp/cc/congestion_control.h"
@@ -148,6 +149,20 @@ class Sender {
   // observation point (tcp/invariants.h).
   std::function<void(const net::Segment&)> on_post_ack_hook;
   std::function<void()> on_abort_hook;
+  // Self-profiling tap (obs::SelfProfiler): wall-clock nanoseconds spent
+  // processing each ACK. When unset, on_ack_segment takes no clock
+  // readings.
+  std::function<void(int64_t)> on_ack_cost_hook;
+
+  // ---- flight recorder (obs/) ----
+  // Attaches (or, with nullptr, detaches) a flight recorder: state
+  // transitions, per-ACK window/PRR decisions, (re)transmissions, RTO
+  // and undo events, and loss-timer activity are written as TraceRecords
+  // tagged with `conn_id`. Pure observation — recording changes no
+  // sender behavior, so aggregates are bit-identical with or without it.
+  void set_recorder(obs::FlightRecorder* recorder, uint32_t conn_id);
+  obs::FlightRecorder* recorder() const { return recorder_; }
+  uint32_t conn_id() const { return conn_id_; }
 
   // ---- inspection (tests, experiments) ----
   TcpState state() const { return state_; }
@@ -182,6 +197,7 @@ class Sender {
   sim::Time loss_recovery_time() const;
 
  private:
+  void process_ack(const net::Segment& ack);
   void try_send();
   bool can_send_new() const;
   // RFC 3517 pipe in SACK mode; the dupack-discounted flight estimate in
@@ -293,6 +309,13 @@ class Sender {
   bool aborted_ = false;
   bool cwnd_limited_ = true;
   sim::Time last_transmit_ = sim::Time::zero();
+
+  // Flight recorder attachment (null = not tracing) and the last state
+  // recorded, so note_transmit_state_change() can emit exactly one
+  // kStateChange per transition.
+  obs::FlightRecorder* recorder_ = nullptr;
+  uint32_t conn_id_ = 0;
+  TcpState traced_state_ = TcpState::kOpen;
 
   // Busy-time accounting (Table 10).
   sim::Time busy_since_ = sim::Time::zero();

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "net/path.h"
+#include "obs/instrument.h"
 #include "tcp/seqnum.h"
 
 namespace prr::trace {
@@ -135,9 +136,11 @@ void PcapWriter::record(const net::Segment& seg, sim::Time at,
   ++packets_;
 }
 
-void PcapWriter::attach(net::Path& path) {
-  path.wire_tap = [this](const net::Segment& seg, bool is_ack,
-                         sim::Time at) { record(seg, at, !is_ack); };
+void PcapWriter::attach(obs::Instrument& instrument) {
+  instrument.add_wire_listener(
+      [this](const net::Segment& seg, bool is_ack, sim::Time at) {
+        record(seg, at, !is_ack);
+      });
 }
 
 }  // namespace prr::trace

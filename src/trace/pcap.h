@@ -12,8 +12,8 @@
 #include "net/segment.h"
 #include "sim/time.h"
 
-namespace prr::net {
-class Path;
+namespace prr::obs {
+class Instrument;
 }
 
 namespace prr::trace {
@@ -37,9 +37,10 @@ class PcapWriter {
   // orientation (data flows sender->receiver; ACKs the reverse).
   void record(const net::Segment& seg, sim::Time at, bool from_sender);
 
-  // Installs a wire tap on the path: every data segment and ACK that
-  // enters the network is captured. The writer must outlive the path.
-  void attach(net::Path& path);
+  // Subscribes to the connection's wire-level events via its
+  // Instrument: every data segment and ACK that enters the network is
+  // captured. The writer must outlive the instrumented traffic.
+  void attach(obs::Instrument& instrument);
 
   uint64_t packets_written() const { return packets_; }
 

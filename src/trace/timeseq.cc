@@ -5,23 +5,30 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/instrument.h"
+
 namespace prr::trace {
 
-void TimeSeqTrace::attach(sim::Simulator& sim, tcp::Connection& conn) {
-  tcp::Sender& snd = conn.sender();
-  snd.on_transmit_hook = [this, &sim](uint64_t seq, uint32_t len,
-                                      bool retx) {
-    record({sim.now(), retx ? EventKind::kRetransmit : EventKind::kSend,
-            seq, seq + len});
-  };
-  snd.on_una_advance_hook = [this, &sim](uint64_t una) {
-    record({sim.now(), EventKind::kUnaAdvance, una, una});
-  };
-  snd.on_ack_hook = [this, &sim](const net::Segment& ack) {
-    for (const auto& blk : ack.sacks) {
-      record({sim.now(), EventKind::kSack, blk.start, blk.end});
+void TimeSeqTrace::attach(obs::Instrument& instrument) {
+  instrument.recorder().add_listener([this](const obs::TraceRecord& r) {
+    const sim::Time at = sim::Time::nanoseconds(r.at_ns);
+    switch (r.type) {
+      case obs::TraceType::kTransmit:
+        record({at, r.a != 0 ? EventKind::kRetransmit : EventKind::kSend,
+                r.f[0], r.f[0] + r.f[1]});
+        break;
+      case obs::TraceType::kUnaAdvance:
+        record({at, EventKind::kUnaAdvance, r.f[0], r.f[0]});
+        break;
+      case obs::TraceType::kSackSeen:
+        // Plain SACK blocks only; DSACK reports (a == 1) are not part of
+        // the time-sequence picture.
+        if (r.a == 0) record({at, EventKind::kSack, r.f[0], r.f[1]});
+        break;
+      default:
+        break;
     }
-  };
+  });
 }
 
 void TimeSeqTrace::write_csv(std::ostream& os) const {

@@ -10,7 +10,10 @@
 #include <vector>
 
 #include "sim/time.h"
-#include "tcp/connection.h"
+
+namespace prr::obs {
+class Instrument;
+}
 
 namespace prr::trace {
 
@@ -30,9 +33,12 @@ struct TraceEvent {
 
 class TimeSeqTrace {
  public:
-  // Attaches hooks to the connection's sender and ACK path. The trace
-  // must outlive the connection.
-  void attach(sim::Simulator& sim, tcp::Connection& conn);
+  // Subscribes to the connection's flight recorder via its Instrument:
+  // kTransmit, kUnaAdvance, and kSackSeen records become TraceEvents as
+  // they are written. The trace must outlive the instrumented traffic.
+  // (Requires a tracing-enabled build — with PRR_TRACING=OFF the
+  // recorder receives no sender records and the trace stays empty.)
+  void attach(obs::Instrument& instrument);
 
   void record(TraceEvent e) { events_.push_back(e); }
   const std::vector<TraceEvent>& events() const { return events_; }

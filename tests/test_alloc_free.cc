@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include "http/server_app.h"
+#include "obs/flight_recorder.h"
+#include "obs/instrument.h"
 #include "sim/simulator.h"
 #include "tcp/connection.h"
 #include "util/alloc_counter.h"
@@ -63,6 +65,51 @@ TEST(AllocFree, SteadyStatePerAckPathDoesNotAllocate) {
       << "steady-state per-ACK path allocated";
   EXPECT_EQ(after.frees - before.frees, 0u)
       << "steady-state per-ACK path freed";
+}
+
+// Same transfer with the full observability stack attached: flight
+// recorder on the sender and fault injector, wire tap through the
+// Instrument, timer tracing installed. The recorder ring is preallocated
+// and write() is a masked store, so enabled tracing must also be
+// allocation-free once warm (ISSUE acceptance criterion).
+TEST(AllocFree, TracedSteadyStateDoesNotAllocate) {
+  sim::Simulator sim;
+  tcp::ConnectionConfig cfg;
+  cfg.path = net::Path::Config::symmetric(util::DataRate::mbps(10),
+                                          sim::Time::milliseconds(40),
+                                          /*queue_packets=*/200);
+  cfg.receiver.rwnd = 64 * 1024;
+  tcp::Connection conn(sim, cfg, sim::Rng(5));
+
+  obs::FlightRecorder recorder(4096);
+  obs::Instrument instrument(sim, conn, recorder, /*conn_id=*/0);
+
+  std::vector<http::ResponseSpec> responses(1);
+  responses[0].bytes = 5'000'000;
+  http::ServerApp app(sim, conn, responses);
+  app.start();
+
+  sim.run(sim::Time::seconds(2));
+  const uint64_t una_at_snapshot = conn.sender().snd_una();
+  const uint64_t written_at_snapshot = recorder.total_written();
+  ASSERT_GT(una_at_snapshot, 0u) << "transfer never started";
+  ASSERT_FALSE(conn.sender().all_acked()) << "transfer finished in warmup";
+
+  const util::AllocCounts before = util::alloc_counts();
+  sim.run(sim::Time::seconds(3));
+  const util::AllocCounts after = util::alloc_counts();
+
+  ASSERT_GT(conn.sender().snd_una(), una_at_snapshot);
+  if (obs::trace_compiled_in()) {
+    // The measured window must have actually traced (ACKs + wire records
+    // at the very least), wrapping the ring.
+    EXPECT_GT(recorder.total_written(), written_at_snapshot);
+    EXPECT_GT(recorder.count(obs::TraceType::kAck), 0u);
+  }
+  EXPECT_EQ(after.allocations - before.allocations, 0u)
+      << "traced steady-state per-ACK path allocated";
+  EXPECT_EQ(after.frees - before.frees, 0u)
+      << "traced steady-state per-ACK path freed";
 }
 
 }  // namespace

@@ -1,0 +1,140 @@
+// MetricsRegistry: idempotent registration, log2-histogram bucketing
+// and quantiles, deterministic merge semantics (counters sum, gauges
+// max, histograms bucket-sum — merge order must not matter), and
+// byte-stable, structurally valid JSON export.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+
+namespace prr::obs {
+namespace {
+
+TEST(MetricsRegistry, RegistrationIsIdempotentAndPointerStable) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.counter("tcp.retransmits");
+  Counter* c2 = reg.counter("tcp.retransmits");
+  EXPECT_EQ(c1, c2);
+  c1->add(3);
+  EXPECT_EQ(reg.find_counter("tcp.retransmits")->value(), 3u);
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+
+  // Registering many more instruments must not move existing ones.
+  for (int i = 0; i < 100; ++i) reg.counter("c" + std::to_string(i));
+  EXPECT_EQ(reg.counter("tcp.retransmits"), c1);
+  EXPECT_EQ(reg.instrument_count(), 101u);
+}
+
+TEST(LogHistogram, BucketBoundaries) {
+  EXPECT_EQ(LogHistogram::bucket_of(0), 0);
+  EXPECT_EQ(LogHistogram::bucket_of(1), 1);
+  EXPECT_EQ(LogHistogram::bucket_of(2), 2);
+  EXPECT_EQ(LogHistogram::bucket_of(3), 2);
+  EXPECT_EQ(LogHistogram::bucket_of(4), 3);
+  EXPECT_EQ(LogHistogram::bucket_of(1023), 10);
+  EXPECT_EQ(LogHistogram::bucket_of(1024), 11);
+  EXPECT_EQ(LogHistogram::bucket_of(~uint64_t{0}), 64);
+  EXPECT_EQ(LogHistogram::bucket_floor(0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_floor(1), 1u);
+  EXPECT_EQ(LogHistogram::bucket_floor(11), 1024u);
+}
+
+TEST(LogHistogram, StatsAndQuantiles) {
+  LogHistogram h;
+  for (uint64_t v = 0; v < 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 4950u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 99u);
+  EXPECT_DOUBLE_EQ(h.mean(), 49.5);
+  // Median of 0..99 lies in bucket [32,64); the approx quantile reports
+  // the bucket's upper edge clamped to the observed max.
+  EXPECT_GE(h.approx_quantile(0.5), 32u);
+  EXPECT_LE(h.approx_quantile(0.5), 64u);
+  EXPECT_LE(h.approx_quantile(0.99), 99u);
+  EXPECT_GE(h.approx_quantile(0.99), 64u);
+  EXPECT_EQ(h.approx_quantile(0.0), 0u);
+}
+
+TEST(LogHistogram, MergeSumsBuckets) {
+  LogHistogram a;
+  LogHistogram b;
+  a.record(5);
+  a.record(100);
+  b.record(7);
+  b.record(1'000'000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 5u + 100u + 7u + 1'000'000u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 1'000'000u);
+  EXPECT_EQ(a.bucket(LogHistogram::bucket_of(5)),
+            2u);  // 5 and 7 share [4,8)
+}
+
+TEST(MetricsRegistry, MergeIsOrderIndependent) {
+  auto make_shard = [](uint64_t seed) {
+    MetricsRegistry r;
+    r.counter("retx")->add(seed);
+    r.gauge("hwm")->set(static_cast<int64_t>(seed * 3));
+    for (uint64_t v = 0; v < seed; ++v) r.histogram("cost")->record(v * 17);
+    return r;
+  };
+
+  MetricsRegistry fwd;
+  for (uint64_t s : {2u, 5u, 9u}) fwd.merge(make_shard(s));
+  MetricsRegistry rev;
+  for (uint64_t s : {9u, 5u, 2u}) rev.merge(make_shard(s));
+
+  EXPECT_EQ(fwd.find_counter("retx")->value(), 16u);
+  EXPECT_EQ(fwd.find_gauge("hwm")->value(), 27);
+  EXPECT_EQ(fwd.find_histogram("cost")->count(), 16u);
+  // Byte-identical export regardless of merge order.
+  EXPECT_EQ(fwd.to_json(), rev.to_json());
+}
+
+TEST(MetricsRegistry, MergeCreatesMissingInstruments) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  b.counter("only_in_b")->add(4);
+  b.histogram("h")->record(12);
+  a.merge(b);
+  ASSERT_NE(a.find_counter("only_in_b"), nullptr);
+  EXPECT_EQ(a.find_counter("only_in_b")->value(), 4u);
+  ASSERT_NE(a.find_histogram("h"), nullptr);
+  EXPECT_EQ(a.find_histogram("h")->count(), 1u);
+}
+
+TEST(MetricsRegistry, JsonIsValidAndSorted) {
+  MetricsRegistry reg;
+  reg.counter("b.second")->add(2);
+  reg.counter("a.first")->inc();
+  reg.gauge("g")->set(-5);
+  reg.histogram("lat")->record(0);
+  reg.histogram("lat")->record(1500);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(json_valid(json)) << json;
+  // std::map iteration puts a.first before b.second.
+  EXPECT_LT(json.find("a.first"), json.find("b.second"));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+
+  // Empty registry is still a valid document.
+  EXPECT_TRUE(json_valid(MetricsRegistry{}.to_json()));
+}
+
+TEST(Json, EscapeAndValidate) {
+  EXPECT_EQ(json_quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+  EXPECT_TRUE(json_valid("{\"k\":[1,2.5,-3e4,null,true,\"s\"]}"));
+  EXPECT_FALSE(json_valid("{\"k\":}"));
+  EXPECT_FALSE(json_valid("[1,2"));
+  EXPECT_FALSE(json_valid("{} trailing"));
+  EXPECT_TRUE(json_valid(" [ ] "));
+}
+
+}  // namespace
+}  // namespace prr::obs

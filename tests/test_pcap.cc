@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/loss_model.h"
+#include "obs/instrument.h"
 #include "sim/simulator.h"
 #include "tcp/connection.h"
 
@@ -162,7 +163,9 @@ TEST(Pcap, AttachedTapCapturesWholeConnection) {
   tcp::Connection conn(sim, cfg, sim::Rng(1), nullptr, nullptr);
   std::ostringstream os;
   PcapWriter w(os);
-  w.attach(conn.path());
+  obs::FlightRecorder recorder;
+  obs::Instrument instrument(sim, conn, recorder, /*conn_id=*/0);
+  w.attach(instrument);
   conn.path().data_link().set_loss_model(
       std::make_unique<net::DeterministicLoss>(std::set<uint64_t>{2}));
   conn.write(10'000);
