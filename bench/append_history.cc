@@ -1,0 +1,104 @@
+// append_history: folds the machine-readable outputs of the perf benches
+// (BENCH_SWEEP.json from bench_sweep_scaling, BENCH_TRACE.json from
+// bench_trace_overhead) into BENCH_HISTORY.jsonl -- one line per commit,
+// tagged with the commit SHA and the machine it ran on, so perf
+// regressions show up as a trend across CI runs rather than a
+// single-run number nobody can compare.
+//
+// Environment:
+//   BENCH_SWEEP_JSON     input path  (default "BENCH_SWEEP.json")
+//   BENCH_TRACE_JSON     input path  (default "BENCH_TRACE.json")
+//   BENCH_HISTORY_JSONL  output path (default "BENCH_HISTORY.jsonl")
+//   GITHUB_SHA           commit tag  (default "local")
+//
+// A missing input is recorded as null rather than an error, so the tool
+// also works when only one bench ran.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/json.h"
+
+using namespace prr;
+
+namespace {
+
+// Reads a whole file; empty string if unreadable.
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const char* sweep_env = std::getenv("BENCH_SWEEP_JSON");
+  const char* trace_env = std::getenv("BENCH_TRACE_JSON");
+  const char* hist_env = std::getenv("BENCH_HISTORY_JSONL");
+  const char* sha_env = std::getenv("GITHUB_SHA");
+
+  const std::string sweep_path = sweep_env ? sweep_env : "BENCH_SWEEP.json";
+  const std::string trace_path = trace_env ? trace_env : "BENCH_TRACE.json";
+  const std::string hist_path =
+      hist_env ? hist_env : "BENCH_HISTORY.jsonl";
+  const std::string sha = sha_env && *sha_env ? sha_env : "local";
+
+  char host[256] = "unknown";
+  if (gethostname(host, sizeof(host) - 1) != 0) {
+    std::strcpy(host, "unknown");
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  const std::string sweep = slurp(sweep_path);
+  const std::string trace = slurp(trace_path);
+  const bool sweep_ok = obs::json_valid(sweep);
+  const bool trace_ok = obs::json_valid(trace);
+  if (!sweep.empty() && !sweep_ok) {
+    std::fprintf(stderr, "append_history: %s is not valid JSON\n",
+                 sweep_path.c_str());
+    return 1;
+  }
+  if (!trace.empty() && !trace_ok) {
+    std::fprintf(stderr, "append_history: %s is not valid JSON\n",
+                 trace_path.c_str());
+    return 1;
+  }
+  if (sweep.empty() && trace.empty()) {
+    std::fprintf(stderr,
+                 "append_history: neither %s nor %s exists; nothing to "
+                 "record\n",
+                 sweep_path.c_str(), trace_path.c_str());
+    return 1;
+  }
+
+  std::string line = "{\"sha\":" + obs::json_quote(sha) +
+                     ",\"machine\":{\"host\":" + obs::json_quote(host) +
+                     ",\"hardware_concurrency\":" + std::to_string(hw) +
+                     "},\"sweep\":" + (sweep_ok ? sweep : "null") +
+                     ",\"trace\":" + (trace_ok ? trace : "null") + "}\n";
+
+  std::FILE* out = std::fopen(hist_path.c_str(), "ab");
+  if (!out) {
+    std::fprintf(stderr, "append_history: cannot open %s for append\n",
+                 hist_path.c_str());
+    return 1;
+  }
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fclose(out);
+  std::printf("append_history: recorded %s (%zu B) -> %s\n", sha.c_str(),
+              line.size(), hist_path.c_str());
+  return 0;
+}

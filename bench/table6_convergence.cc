@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "obs/flight_recorder.h"
 #include "workload/web_workload.h"
 
 using namespace prr;
@@ -22,8 +23,13 @@ int main() {
   opts.connections = 12000;
   opts.seed = 5;
   opts.threads = 0;  // parallel sweep: byte-identical to serial
+  opts.collect_episodes = true;
   exp::ArmResult r = exp::run_arm(pop, exp::ArmConfig::prr_arm(), opts);
-  util::Samples s = r.recovery_log.cwnd_minus_ssthresh_exit_segs();
+  // Episode table primary, RecoveryLog fallback (tracing compiled out);
+  // the mirrored accessor makes the numbers identical either way.
+  util::Samples s = obs::trace_compiled_in()
+                        ? r.episodes.cwnd_minus_ssthresh_exit_segs()
+                        : r.recovery_log.cwnd_minus_ssthresh_exit_segs();
 
   util::Table t({"quantile [%]", "paper [segs]", "measured [segs]"});
   const char* paper[] = {"-8", "-3", "0", "0", "0", "0", "0", "0"};

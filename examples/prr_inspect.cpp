@@ -1,0 +1,211 @@
+// prr_inspect: the episode-analytics CLI (DESIGN.md §9). Three views of
+// the same machinery:
+//
+//   prr_inspect episodes [--connections N] [--seed S]
+//       Run the standard 3-arm web sweep and print each arm's episode
+//       table: counts, exit breakdown, stream counters, log2-histogram
+//       percentiles. This is Tables 3/5/6/7 viewed as one object.
+//
+//   prr_inspect dump --conn ID [--arm NAME] [--connections N] [--seed S]
+//       Re-run one connection in isolation under one arm and print every
+//       recovery episode with its per-ACK ledger: DeliveredData, sndcnt,
+//       pipe vs ssthresh, the PRR internals, the exit, and the first
+//       post-recovery cwnd samples.
+//
+//   prr_inspect diff --conn ID [--arm NAME] [--arm-b NAME] [...]
+//       Run the SAME connection under two arms. Common random numbers
+//       make the sample paths identical, so the streams match record for
+//       record until the first divergent sender decision; print that
+//       decision with context and write a paired Perfetto trace
+//       (prr_diff_connID.json, arm A = pid 1, arm B = pid 2) with FIRST
+//       DIVERGENCE markers. Drop it into https://ui.perfetto.dev.
+//
+// Arms: prr (default), rfc3517, linux. Defaults: 2000 connections,
+// seed 42 — matching exp::RunOptions, so episode counts line up with
+// the other examples out of the box.
+//
+// Requires tracing compiled in (-DPRR_TRACING=ON, the default); prints
+// a skip message otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "obs/episodes.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace_diff.h"
+#include "workload/web_workload.h"
+
+using namespace prr;
+
+namespace {
+
+int usage() {
+  std::printf(
+      "usage: prr_inspect <episodes|dump|diff> [options]\n"
+      "  episodes                 per-arm episode tables for the web sweep\n"
+      "  dump --conn ID           one connection's episodes + ACK ledgers\n"
+      "  diff --conn ID           first divergent decision between two arms\n"
+      "options:\n"
+      "  --arm NAME               prr | rfc3517 | linux   (default prr)\n"
+      "  --arm-b NAME             second arm for diff     (default rfc3517)\n"
+      "  --conn ID                connection id for dump/diff\n"
+      "  --connections N          sweep size              (default 2000)\n"
+      "  --seed S                 experiment seed         (default 42)\n");
+  return 2;
+}
+
+bool parse_arm(const char* name, exp::ArmConfig* out) {
+  if (std::strcmp(name, "prr") == 0) {
+    *out = exp::ArmConfig::prr_arm();
+  } else if (std::strcmp(name, "rfc3517") == 0) {
+    *out = exp::ArmConfig::rfc3517_arm();
+  } else if (std::strcmp(name, "linux") == 0) {
+    *out = exp::ArmConfig::linux_arm();
+  } else {
+    std::printf("unknown arm '%s' (want prr, rfc3517 or linux)\n", name);
+    return false;
+  }
+  return true;
+}
+
+int cmd_episodes(const exp::RunOptions& opts) {
+  workload::WebWorkload pop;
+  const std::vector<exp::ArmConfig> arms = {exp::ArmConfig::prr_arm(),
+                                            exp::ArmConfig::rfc3517_arm(),
+                                            exp::ArmConfig::linux_arm()};
+  std::printf("web sweep: %d connections, seed %llu, 3 arms\n\n",
+              opts.connections, (unsigned long long)opts.seed);
+  const auto results = exp::run_arms(pop, arms, opts);
+  for (const auto& r : results) {
+    std::printf("==== arm %s ====\n%s\n", r.name.c_str(),
+                r.episodes.summary_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_dump(const exp::RunOptions& opts, const exp::ArmConfig& arm,
+             uint64_t conn) {
+  workload::WebWorkload pop;
+  std::printf("connection %llu under arm %s (seed %llu)\n",
+              (unsigned long long)conn, arm.name.c_str(),
+              (unsigned long long)opts.seed);
+  const exp::TracedConnection t =
+      exp::trace_connection(pop, arm, opts, conn);
+  std::printf("%zu trace records, %zu episode(s)%s%s\n\n",
+              t.records.size(), t.episodes.size(),
+              t.aborted ? ", ABORTED" : "",
+              t.all_acked ? ", fully acked" : "");
+  if (t.episodes.empty()) {
+    std::printf("no recovery episodes: this connection never entered "
+                "fast recovery. Try another id.\n");
+    return 0;
+  }
+  for (std::size_t i = 0; i < t.episodes.size(); ++i) {
+    std::printf("---- episode %zu/%zu ----\n%s\n", i + 1,
+                t.episodes.size(), obs::describe(t.episodes[i]).c_str());
+  }
+  return 0;
+}
+
+int cmd_diff(const exp::RunOptions& opts, const exp::ArmConfig& arm_a,
+             const exp::ArmConfig& arm_b, uint64_t conn) {
+  workload::WebWorkload pop;
+  std::printf("connection %llu: %s vs %s (seed %llu, CRN-aligned)\n\n",
+              (unsigned long long)conn, arm_a.name.c_str(),
+              arm_b.name.c_str(), (unsigned long long)opts.seed);
+  const exp::TracedConnection a =
+      exp::trace_connection(pop, arm_a, opts, conn);
+  const exp::TracedConnection b =
+      exp::trace_connection(pop, arm_b, opts, conn);
+  std::printf("%-10s %zu records, %zu episode(s)\n", arm_a.name.c_str(),
+              a.records.size(), a.episodes.size());
+  std::printf("%-10s %zu records, %zu episode(s)\n\n", arm_b.name.c_str(),
+              b.records.size(), b.episodes.size());
+
+  const obs::DivergencePoint d =
+      obs::first_divergence(a.records, b.records);
+  std::printf("%s\n",
+              obs::explain_divergence(d, arm_a.name, arm_b.name).c_str());
+
+  char path[64];
+  std::snprintf(path, sizeof(path), "prr_diff_conn%llu.json",
+                (unsigned long long)conn);
+  if (std::FILE* f = std::fopen(path, "w")) {
+    const std::string json =
+        obs::perfetto_diff_json(a.records, b.records, arm_a.name,
+                                arm_b.name);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s -- open it at https://ui.perfetto.dev "
+                "(%s = pid 1, %s = pid 2)\n",
+                path, arm_a.name.c_str(), arm_b.name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (!obs::trace_compiled_in()) {
+    std::printf("prr_inspect: tracing compiled out (PRR_TRACING=OFF); "
+                "rebuild with tracing to use the inspector.\n");
+    return 0;
+  }
+
+  const std::string cmd = argv[1];
+  exp::ArmConfig arm_a = exp::ArmConfig::prr_arm();
+  exp::ArmConfig arm_b = exp::ArmConfig::rfc3517_arm();
+  int64_t conn = -1;
+  exp::RunOptions opts;
+  opts.threads = 0;  // parallel sweep: byte-identical to serial
+  opts.collect_episodes = true;
+
+  for (int i = 2; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::printf("%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--arm") == 0) {
+      const char* v = need("--arm");
+      if (!v || !parse_arm(v, &arm_a)) return 2;
+    } else if (std::strcmp(argv[i], "--arm-b") == 0) {
+      const char* v = need("--arm-b");
+      if (!v || !parse_arm(v, &arm_b)) return 2;
+    } else if (std::strcmp(argv[i], "--conn") == 0) {
+      const char* v = need("--conn");
+      if (!v) return 2;
+      conn = std::atoll(v);
+    } else if (std::strcmp(argv[i], "--connections") == 0) {
+      const char* v = need("--connections");
+      if (!v) return 2;
+      opts.connections = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const char* v = need("--seed");
+      if (!v) return 2;
+      opts.seed = static_cast<uint64_t>(std::atoll(v));
+    } else {
+      std::printf("unknown option '%s'\n", argv[i]);
+      return usage();
+    }
+  }
+
+  if (cmd == "episodes") return cmd_episodes(opts);
+  if (cmd == "dump" || cmd == "diff") {
+    if (conn < 0) {
+      std::printf("%s requires --conn ID\n", cmd.c_str());
+      return usage();
+    }
+    if (cmd == "dump") {
+      return cmd_dump(opts, arm_a, static_cast<uint64_t>(conn));
+    }
+    return cmd_diff(opts, arm_a, arm_b, static_cast<uint64_t>(conn));
+  }
+  return usage();
+}

@@ -27,6 +27,7 @@
 
 #include "exp/experiment.h"
 #include "exp/scenarios.h"
+#include "obs/trace_diff.h"
 #include "obs/trace_record.h"
 #include "workload/web_workload.h"
 
@@ -105,6 +106,48 @@ int main(int argc, char** argv) {
           std::fclose(f);
           std::printf("wrote %s -- open it at https://ui.perfetto.dev\n",
                       path);
+        }
+      }
+
+      // Quarantine forensics from the episode layer: the recovery
+      // episode in flight (or closest to) the failure, reconstructed
+      // from the trace tail with its per-ACK ledger.
+      const std::string culprit = rec.episode_summary();
+      if (!culprit.empty()) {
+        std::printf("culprit episode:\n%s\n", culprit.c_str());
+      } else {
+        std::printf("no recovery episode in the captured tail\n");
+      }
+
+      // Cross-arm triage: re-run the same connection under a reference
+      // arm. CRN makes the sample paths identical, so the first
+      // divergent record is the first decision this arm made
+      // differently — often the shortest path to "why only this arm".
+      {
+        const std::size_t ref =
+            (a + 1) % arms.size();  // any other arm works as reference
+        exp::RunOptions iso = opts;
+        iso.inject_violation_connection = -1;  // honest re-runs
+        exp::TracedConnection mine = exp::trace_connection(
+            pop, arms[a], iso, rec.connection_id);
+        exp::TracedConnection other = exp::trace_connection(
+            pop, arms[ref], iso, rec.connection_id);
+        const obs::DivergencePoint d =
+            obs::first_divergence(mine.records, other.records);
+        if (d.diverged && !d.a_ended && !d.b_ended) {
+          std::printf("first divergence vs %s arm after %zu common "
+                      "records:\n  %-10s %s\n  %-10s %s\n",
+                      arms[ref].name.c_str(), d.common_count,
+                      arms[a].name.c_str(), obs::describe(d.a).c_str(),
+                      arms[ref].name.c_str(), obs::describe(d.b).c_str());
+        } else if (d.diverged) {
+          std::printf("diverged from %s arm by exhaustion after %zu "
+                      "common records\n",
+                      arms[ref].name.c_str(), d.common_count);
+        } else {
+          std::printf("identical record stream to %s arm (%zu records): "
+                      "the failure is arm-independent\n",
+                      arms[ref].name.c_str(), d.common_count);
         }
       }
 

@@ -24,6 +24,7 @@ namespace prr::exp {
 void ArmResult::merge(ArmResult&& shard) {
   metrics.merge(shard.metrics);
   recovery_log.merge(shard.recovery_log);
+  episodes.merge(shard.episodes);
   latency.merge(shard.latency);
   total_network_transmit_time += shard.total_network_transmit_time;
   total_loss_recovery_time += shard.total_loss_recovery_time;
@@ -70,6 +71,11 @@ std::string QuarantineRecord::summary() const {
 
 std::string QuarantineRecord::trace_json() const {
   return obs::perfetto_trace_json(trace_tail);
+}
+
+std::string QuarantineRecord::episode_summary() const {
+  if (episodes.empty()) return {};
+  return obs::describe(episodes.back());
 }
 
 bool ReplayResult::reproduced(const QuarantineRecord& rec) const {
@@ -177,7 +183,7 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
   // allocation each; one-off callers get a local ring.
   std::optional<obs::FlightRecorder> local_recorder;
   obs::FlightRecorder* recorder = nullptr;
-  if (opts.trace || check) {
+  if (opts.trace || check || opts.collect_episodes) {
     if (shared_recorder != nullptr) {
       shared_recorder->clear();
       recorder = shared_recorder;
@@ -185,6 +191,22 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
       local_recorder.emplace(opts.trace_ring_records);
       recorder = &*local_recorder;
     }
+  }
+
+  // Episode accumulation taps the recorder through a listener (records
+  // are folded as written, so ring wrap cannot lose episodes). The
+  // builder sits outside the try so a throwing connection still yields
+  // its partial (truncated) episode; the listener is popped before
+  // returning so a shared per-shard ring never keeps a dangling
+  // subscriber across connections.
+  obs::EpisodeBuilder episode_builder;
+  const bool collect =
+      opts.collect_episodes && recorder != nullptr && result != nullptr;
+  if (collect) {
+    recorder->add_listener(
+        [&episode_builder](const obs::TraceRecord& r) {
+          episode_builder.on_record(r);
+        });
   }
 
   try {
@@ -303,6 +325,11 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
     outcome.exception = "unknown exception";
   }
 
+  if (collect) {
+    recorder->pop_listener();
+    episode_builder.finish();
+    result->episodes.fold(episode_builder);
+  }
   if (recorder &&
       (!outcome.violations.empty() || !outcome.exception.empty())) {
     outcome.trace_tail = recorder->tail(opts.trace_tail_records);
@@ -319,7 +346,7 @@ void run_connection_range(const workload::Population& pop,
   // One ring per shard, cleared between connections — the sweep's trace
   // cost is the record writes, not a per-connection ring allocation.
   std::optional<obs::FlightRecorder> recorder;
-  if (opts.trace || opts.check_invariants) {
+  if (opts.trace || opts.check_invariants || opts.collect_episodes) {
     recorder.emplace(opts.trace_ring_records);
   }
   for (uint64_t id = begin; id < end; ++id) {
@@ -339,6 +366,15 @@ void run_connection_range(const workload::Population& pop,
     rec.violations = outcome.violations;
     rec.exception = std::move(outcome.exception);
     rec.trace_tail = std::move(outcome.trace_tail);
+    // Attach the culprit episode(s), rebuilt from the tail with per-ACK
+    // ledgers: the decision trail leading into the failure, not just
+    // raw records.
+    if (!rec.trace_tail.empty()) {
+      obs::EpisodeBuilder builder({.keep_ledgers = true});
+      for (const obs::TraceRecord& r : rec.trace_tail) builder.on_record(r);
+      builder.finish();
+      rec.episodes = builder.episodes();
+    }
     result.invariant_violations += rec.violations.size();
     result.quarantined.push_back(std::move(rec));
   }
@@ -354,6 +390,36 @@ int resolve_threads(const RunOptions& opts) {
 }
 
 }  // namespace
+
+TracedConnection trace_connection(const workload::Population& pop,
+                                  const ArmConfig& arm,
+                                  const RunOptions& opts, uint64_t id,
+                                  std::size_t max_records) {
+  TracedConnection out;
+  // A listener captures the full stream (and feeds the episode builder)
+  // as records are written, so the result is not capped by the ring.
+  obs::FlightRecorder recorder(opts.trace_ring_records);
+  obs::EpisodeBuilder builder({.keep_ledgers = true});
+  recorder.add_listener(
+      [&out, &builder, max_records](const obs::TraceRecord& r) {
+        if (max_records == 0 || out.records.size() < max_records) {
+          out.records.push_back(r);
+        }
+        builder.on_record(r);
+      });
+
+  RunOptions traced = opts;
+  traced.trace = true;
+  traced.collect_episodes = false;  // the local builder handles episodes
+  ConnectionOutcome outcome =
+      run_one_connection(pop, arm, traced, id, /*force_check=*/false,
+                         /*result=*/nullptr, &recorder);
+  builder.finish();
+  out.episodes = builder.episodes();
+  out.aborted = outcome.aborted;
+  out.all_acked = outcome.all_acked;
+  return out;
+}
 
 ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,
                   const RunOptions& opts) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/prr.h"
+#include "obs/episodes.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace_record.h"
 #include "sim/time.h"
@@ -84,16 +85,28 @@ struct QuarantineRecord {
   // (newest RunOptions::trace_tail_records records, oldest first). Empty
   // in builds with tracing compiled out.
   std::vector<obs::TraceRecord> trace_tail;
+  // Recovery episodes reconstructed from the trace tail (ledgers kept):
+  // the last one is the culprit — the episode in flight, or closest to,
+  // the moment of failure. Empty when tracing is compiled out.
+  std::vector<obs::RecoveryEpisode> episodes;
 
   std::string summary() const;
   // The trace tail as Chrome trace-event JSON (ui.perfetto.dev).
   std::string trace_json() const;
+  // Human-readable dump of the culprit episode (the last reconstructed
+  // one, per-ACK ledger included); empty string when none was captured.
+  std::string episode_summary() const;
 };
 
 struct ArmResult {
   std::string name;
   tcp::Metrics metrics;
   stats::RecoveryLog recovery_log;
+  // Structured recovery episodes derived from each connection's trace
+  // stream (populated only with RunOptions::collect_episodes and tracing
+  // compiled in). Reconciles bit-exactly with `recovery_log` and
+  // `metrics` — bench/episode_gate enforces it.
+  obs::EpisodeTable episodes;
   stats::LatencyTracker latency;
   sim::Time total_network_transmit_time;
   sim::Time total_loss_recovery_time;
@@ -176,6 +189,12 @@ struct RunOptions {
   bool trace = false;
   uint32_t trace_ring_records = 2048;  // ring capacity per connection
   uint32_t trace_tail_records = 256;   // tail kept on quarantine/replay
+  // Fold every connection's trace stream into ArmResult::episodes (a
+  // recorder is attached regardless of `trace`, so the table is
+  // identical with tracing on or off; a no-op when tracing is compiled
+  // out). Episodes are built from a listener on the recorder, so ring
+  // wrap cannot cost episodes on long connections.
+  bool collect_episodes = false;
   // Wall-clock self-profiling (event-slice and per-ACK cost histograms)
   // into ArmResult::registry under "profile.". Nondeterministic by
   // nature; off by default so the registry stays reproducible.
@@ -219,6 +238,27 @@ class Experiment {
   const workload::Population& pop_;
   RunOptions opts_;
 };
+
+// One connection's full forensic capture: the (ring-capped) record
+// stream plus its episodes with per-ACK ledgers. The input to
+// examples/prr_inspect's single-connection views and the cross-arm diff
+// (obs/trace_diff.h) — run the same id under two arms and compare.
+struct TracedConnection {
+  std::vector<obs::TraceRecord> records;
+  std::vector<obs::RecoveryEpisode> episodes;
+  bool aborted = false;
+  bool all_acked = false;
+};
+
+// Re-runs connection `id` of the (pop, arm, opts) experiment in
+// isolation with a recorder attached, capturing every record through a
+// listener (so the stream is complete even past the ring capacity, up
+// to `max_records`; 0 = unbounded). Deterministic: the sample path
+// derives from (opts.seed, id) only.
+TracedConnection trace_connection(const workload::Population& pop,
+                                  const ArmConfig& arm,
+                                  const RunOptions& opts, uint64_t id,
+                                  std::size_t max_records = 1u << 20);
 
 // Runs one arm over the population.
 ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,

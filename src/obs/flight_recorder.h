@@ -87,6 +87,16 @@ class FlightRecorder {
     listeners_.push_back(std::move(l));
   }
 
+  // Detaches the most recently added listener. Lets a caller that
+  // borrows a shared recorder (one episode builder per connection on a
+  // reused per-shard ring) subscribe for one connection's lifetime and
+  // leave earlier subscribers untouched — clear() deliberately keeps
+  // listeners, so scoped subscribers must unhook themselves.
+  void pop_listener() {
+    if (!listeners_.empty()) listeners_.pop_back();
+  }
+  std::size_t listener_count() const { return listeners_.size(); }
+
   void clear();
 
  private:

@@ -24,6 +24,34 @@ uint64_t LogHistogram::approx_quantile(double q) const {
   return max_;
 }
 
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Same rank convention as approx_quantile, then spread the bucket's
+  // occupants evenly across its value range and pick the rank's spot.
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (seen + buckets_[b] >= rank) {
+      const double lo = static_cast<double>(bucket_floor(b));
+      const double hi = b >= 64 ? static_cast<double>(max_)
+                                : static_cast<double>((uint64_t{1} << b) - 1);
+      const double within =
+          buckets_[b] == 1
+              ? 0.0
+              : static_cast<double>(rank - seen - 1) /
+                    static_cast<double>(buckets_[b] - 1);
+      const double v = lo + (hi - lo) * within;
+      return std::clamp(v, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+    seen += buckets_[b];
+  }
+  return static_cast<double>(max_);
+}
+
 void LogHistogram::merge(const LogHistogram& other) {
   if (other.count_ == 0) return;
   if (count_ == 0 || other.min_ < min_) min_ = other.min_;
@@ -106,8 +134,9 @@ std::string MetricsRegistry::to_json() const {
     out += ",\"min\":" + std::to_string(h->min());
     out += ",\"max\":" + std::to_string(h->max());
     out += ",\"mean\":" + json_double(h->mean());
-    out += ",\"p50\":" + std::to_string(h->approx_quantile(0.50));
-    out += ",\"p99\":" + std::to_string(h->approx_quantile(0.99));
+    out += ",\"p50\":" + json_double(h->p50());
+    out += ",\"p95\":" + json_double(h->p95());
+    out += ",\"p99\":" + json_double(h->p99());
     out += ",\"buckets\":[";
     bool first_bucket = true;
     for (int b = 0; b < LogHistogram::kBuckets; ++b) {

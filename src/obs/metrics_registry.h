@@ -79,6 +79,14 @@ class LogHistogram {
   // Upper edge of the bucket containing the q-quantile (q in [0,1]) —
   // log2 resolution, good enough for "p99 is ~2-4us" statements.
   uint64_t approx_quantile(double q) const;
+  // q-quantile with linear interpolation across the ranks inside the
+  // containing bucket, clamped to the observed [min, max]. Still log2
+  // resolution between buckets, but smooth within one — the form the
+  // episode tables and registry JSON report.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
 
   void merge(const LogHistogram& other);
 

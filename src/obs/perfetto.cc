@@ -19,21 +19,21 @@ std::string ts_us(int64_t at_ns) {
   return buf;
 }
 
-void event_prefix(std::string& out, const char* ph, const TraceRecord& r,
-                  const std::string& name) {
+void event_prefix(std::string& out, const char* ph, int pid,
+                  const TraceRecord& r, const std::string& name) {
   out += "{\"ph\":\"";
   out += ph;
-  out += "\",\"pid\":" + std::to_string(kPid);
+  out += "\",\"pid\":" + std::to_string(pid);
   out += ",\"tid\":" + std::to_string(r.conn);
   out += ",\"ts\":" + ts_us(r.at_ns);
   out += ",\"name\":" + json_quote(name);
 }
 
-void counter_event(std::string& out, const TraceRecord& r,
+void counter_event(std::string& out, int pid, const TraceRecord& r,
                    const std::string& track, const char* k0, uint64_t v0,
                    const char* k1, uint64_t v1, const char* k2 = nullptr,
                    uint64_t v2 = 0) {
-  event_prefix(out, "C", r, track);
+  event_prefix(out, "C", pid, r, track);
   out += ",\"args\":{\"";
   out += k0;
   out += "\":" + std::to_string(v0) + ",\"";
@@ -47,26 +47,27 @@ void counter_event(std::string& out, const TraceRecord& r,
   out += "}},\n";
 }
 
-void instant_event(std::string& out, const TraceRecord& r,
+void instant_event(std::string& out, int pid, const TraceRecord& r,
                    const std::string& name) {
-  event_prefix(out, "i", r, name);
+  event_prefix(out, "i", pid, r, name);
   out += ",\"s\":\"t\",\"args\":{\"detail\":" + json_quote(describe(r)) +
          "}},\n";
 }
 
 }  // namespace
 
-std::string perfetto_trace_json(const std::vector<TraceRecord>& records) {
-  std::string out = "{\"traceEvents\":[\n";
-  out += "{\"ph\":\"M\",\"pid\":" + std::to_string(kPid) +
-         ",\"name\":\"process_name\",\"args\":{\"name\":\"prr "
-         "simulator\"}},\n";
+void perfetto_append_process(std::string& out,
+                             const std::vector<TraceRecord>& records,
+                             int pid, const std::string& process_name) {
+  out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"name\":\"process_name\",\"args\":{\"name\":" +
+         json_quote(process_name) + "}},\n";
 
   // One thread_name metadata event per connection seen.
   std::set<uint32_t> conns;
   for (const TraceRecord& r : records) conns.insert(r.conn);
   for (uint32_t conn : conns) {
-    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(kPid) +
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
            ",\"tid\":" + std::to_string(conn) +
            ",\"name\":\"thread_name\",\"args\":{\"name\":\"conn " +
            std::to_string(conn) + "\"}},\n";
@@ -76,25 +77,25 @@ std::string perfetto_trace_json(const std::vector<TraceRecord>& records) {
     const std::string conn_s = std::to_string(r.conn);
     switch (r.type) {
       case TraceType::kAck:
-        counter_event(out, r, "conn" + conn_s + " window", "cwnd", r.f[1],
-                      "pipe", r.f[2], "ssthresh", r.f[3]);
+        counter_event(out, pid, r, "conn" + conn_s + " window", "cwnd",
+                      r.f[1], "pipe", r.f[2], "ssthresh", r.f[3]);
         break;
       case TraceType::kPrr:
-        counter_event(out, r, "conn" + conn_s + " prr", "prr_delivered",
+        counter_event(out, pid, r, "conn" + conn_s + " prr", "prr_delivered",
                       r.f[0], "prr_out", r.f[1]);
         break;
       case TraceType::kEnterRecovery:
-        event_prefix(out, "B", r, "fast recovery");
+        event_prefix(out, "B", pid, r, "fast recovery");
         out += ",\"args\":{\"ssthresh\":" + std::to_string(r.f[1]) +
                ",\"pipe\":" + std::to_string(r.f[2]) +
                ",\"prior_cwnd\":" + std::to_string(r.f[3]) + "}},\n";
         break;
       case TraceType::kExitRecovery:
-        event_prefix(out, "E", r, "fast recovery");
+        event_prefix(out, "E", pid, r, "fast recovery");
         out += ",\"args\":{\"cwnd\":" + std::to_string(r.f[0]) + "}},\n";
         break;
       case TraceType::kFault:
-        event_prefix(out, "X", r, "fault");
+        event_prefix(out, "X", pid, r, "fault");
         out += ",\"dur\":" + ts_us(static_cast<int64_t>(r.f[0]));
         out += ",\"args\":{\"detail\":" + json_quote(describe(r)) + "}},\n";
         break;
@@ -106,13 +107,14 @@ std::string perfetto_trace_json(const std::vector<TraceRecord>& records) {
       case TraceType::kTimerFire:
       case TraceType::kTimerCancel:
       case TraceType::kInvariant:
-        instant_event(out, r, to_string(r.type));
+      case TraceType::kLostRetransmit:
+        instant_event(out, pid, r, to_string(r.type));
         break;
       case TraceType::kTransmit:
         // Only retransmissions become instants; regular transmissions
         // are visible through the window counter track and would bloat
         // the export by an order of magnitude.
-        if (r.a != 0) instant_event(out, r, "retransmit");
+        if (r.a != 0) instant_event(out, pid, r, "retransmit");
         break;
       case TraceType::kUnaAdvance:
       case TraceType::kSackSeen:
@@ -122,6 +124,11 @@ std::string perfetto_trace_json(const std::vector<TraceRecord>& records) {
         break;
     }
   }
+}
+
+std::string perfetto_trace_json(const std::vector<TraceRecord>& records) {
+  std::string out = "{\"traceEvents\":[\n";
+  perfetto_append_process(out, records, kPid, "prr simulator");
 
   // Closing sentinel avoids trailing-comma bookkeeping in the loop.
   out += "{\"ph\":\"M\",\"pid\":" + std::to_string(kPid) +

@@ -35,4 +35,13 @@ std::string perfetto_trace_json(const std::vector<TraceRecord>& records);
 // Everything currently held in the ring, oldest first.
 std::string perfetto_trace_json(const FlightRecorder& rec);
 
+// Appends one record stream's process/thread metadata and events under
+// the given pid/process name (no envelope, no sentinel) — the
+// composition point for multi-process exports such as the arm-vs-arm
+// diff track (obs/trace_diff.h), which lays two streams side by side
+// as two named processes in one trace.
+void perfetto_append_process(std::string& out,
+                             const std::vector<TraceRecord>& records,
+                             int pid, const std::string& process_name);
+
 }  // namespace prr::obs

@@ -1,0 +1,214 @@
+#include "obs/trace_diff.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/json.h"
+#include "obs/perfetto.h"
+
+namespace prr::obs {
+
+namespace {
+
+bool skipped(const TraceRecord& r, const DiffOptions& opts) {
+  if (!opts.ignore_timers) return false;
+  return r.type == TraceType::kTimerSchedule ||
+         r.type == TraceType::kTimerCancel;
+}
+
+// TraceRecord is 64 bytes with no padding (static_asserted at the
+// definition), so memcmp is a complete equality test.
+bool equal(const TraceRecord& x, const TraceRecord& y) {
+  return std::memcmp(&x, &y, sizeof(TraceRecord)) == 0;
+}
+
+std::size_t next_unskipped(const std::vector<TraceRecord>& v, std::size_t i,
+                           const DiffOptions& opts) {
+  while (i < v.size() && skipped(v[i], opts)) ++i;
+  return i;
+}
+
+const char* field_name(TraceType t, int i) {
+  // Names for the f[] payload words of the record types a divergence
+  // lands on in practice (per-ACK decisions and transmissions); other
+  // types fall back to positional names.
+  switch (t) {
+    case TraceType::kAck: {
+      static const char* kNames[] = {"ack",      "cwnd",      "pipe",
+                                     "ssthresh", "delivered", "snd_nxt"};
+      return kNames[i];
+    }
+    case TraceType::kPrr: {
+      static const char* kNames[] = {"prr_delivered", "prr_out",
+                                     "recover_fs",    "prr_ssthresh",
+                                     "cwnd",          "f5"};
+      return kNames[i];
+    }
+    case TraceType::kTransmit: {
+      static const char* kNames[] = {"seq", "len", "cwnd",
+                                     "snd_nxt", "f4", "f5"};
+      return kNames[i];
+    }
+    case TraceType::kEnterRecovery: {
+      static const char* kNames[] = {"flight",     "ssthresh",
+                                     "pipe",       "prior_cwnd",
+                                     "recovery_point", "f5"};
+      return kNames[i];
+    }
+    case TraceType::kExitRecovery: {
+      static const char* kNames[] = {"cwnd_after", "pipe",
+                                     "retransmits", "bytes_sent",
+                                     "cwnd_at_exit", "max_burst"};
+      return kNames[i];
+    }
+    default: {
+      static const char* kNames[] = {"f0", "f1", "f2", "f3", "f4", "f5"};
+      return kNames[i];
+    }
+  }
+}
+
+}  // namespace
+
+DivergencePoint first_divergence(const std::vector<TraceRecord>& a,
+                                 const std::vector<TraceRecord>& b,
+                                 const DiffOptions& opts) {
+  DivergencePoint d;
+  std::vector<TraceRecord> context;
+  std::size_t i = next_unskipped(a, 0, opts);
+  std::size_t j = next_unskipped(b, 0, opts);
+  while (i < a.size() && j < b.size()) {
+    if (!equal(a[i], b[j])) {
+      d.diverged = true;
+      d.index_a = i;
+      d.index_b = j;
+      d.a = a[i];
+      d.b = b[j];
+      d.common = std::move(context);
+      return d;
+    }
+    context.push_back(a[i]);
+    if (context.size() > opts.context_records) {
+      context.erase(context.begin());
+    }
+    ++d.common_count;
+    i = next_unskipped(a, i + 1, opts);
+    j = next_unskipped(b, j + 1, opts);
+  }
+  d.a_ended = i >= a.size();
+  d.b_ended = j >= b.size();
+  if (d.a_ended != d.b_ended) {
+    // One stream has more records: divergence by exhaustion.
+    d.diverged = true;
+    d.index_a = i;
+    d.index_b = j;
+    if (!d.a_ended) d.a = a[i];
+    if (!d.b_ended) d.b = b[j];
+    d.common = std::move(context);
+  }
+  return d;
+}
+
+std::string explain_divergence(const DivergencePoint& d,
+                               const std::string& arm_a,
+                               const std::string& arm_b) {
+  std::string out;
+  char buf[256];
+  if (!d.diverged) {
+    std::snprintf(buf, sizeof(buf),
+                  "no divergence: %s and %s produced identical traces "
+                  "(%zu records compared)\n",
+                  arm_a.c_str(), arm_b.c_str(), d.common_count);
+    return buf;
+  }
+  if (!d.common.empty()) {
+    out += "common prefix (last " + std::to_string(d.common.size()) +
+           " records, identical under both arms):\n";
+    for (const TraceRecord& r : d.common) {
+      out += "  " + describe(r) + "\n";
+    }
+  }
+  std::snprintf(buf, sizeof(buf),
+                "FIRST DIVERGENCE after %zu identical records:\n",
+                d.common_count);
+  out += buf;
+  if (d.a_ended || d.b_ended) {
+    const std::string& ended = d.a_ended ? arm_a : arm_b;
+    const std::string& cont = d.a_ended ? arm_b : arm_a;
+    const TraceRecord& r = d.a_ended ? d.b : d.a;
+    out += "  " + ended + ": trace ended\n";
+    out += "  " + cont + ": " + describe(r) + "\n";
+    return out;
+  }
+  out += "  " + arm_a + ": " + describe(d.a) + "\n";
+  out += "  " + arm_b + ": " + describe(d.b) + "\n";
+  if (d.a.type == d.b.type) {
+    // Same decision point, different outcome: name exactly what moved.
+    out += "  differing fields:";
+    if (d.a.at_ns != d.b.at_ns) {
+      std::snprintf(buf, sizeof(buf), " at(%.3fms vs %.3fms)",
+                    static_cast<double>(d.a.at_ns) / 1e6,
+                    static_cast<double>(d.b.at_ns) / 1e6);
+      out += buf;
+    }
+    if (d.a.a != d.b.a) {
+      std::snprintf(buf, sizeof(buf), " a(%u vs %u)", d.a.a, d.b.a);
+      out += buf;
+    }
+    if (d.a.b != d.b.b) {
+      std::snprintf(buf, sizeof(buf), " b(%u vs %u)", d.a.b, d.b.b);
+      out += buf;
+    }
+    for (int k = 0; k < 6; ++k) {
+      if (d.a.f[k] != d.b.f[k]) {
+        std::snprintf(buf, sizeof(buf), " %s(%llu vs %llu)",
+                      field_name(d.a.type, k),
+                      static_cast<unsigned long long>(d.a.f[k]),
+                      static_cast<unsigned long long>(d.b.f[k]));
+        out += buf;
+      }
+    }
+    out += "\n";
+  } else {
+    out += "  different record types: " + std::string(to_string(d.a.type)) +
+           " vs " + to_string(d.b.type) + "\n";
+  }
+  return out;
+}
+
+std::string perfetto_diff_json(const std::vector<TraceRecord>& a,
+                               const std::vector<TraceRecord>& b,
+                               const std::string& arm_a,
+                               const std::string& arm_b,
+                               const DiffOptions& opts) {
+  const DivergencePoint d = first_divergence(a, b, opts);
+  std::string out = "{\"traceEvents\":[\n";
+  perfetto_append_process(out, a, 1, arm_a);
+  perfetto_append_process(out, b, 2, arm_b);
+  if (d.diverged) {
+    const struct {
+      int pid;
+      bool ended;
+      const TraceRecord* r;
+    } sides[] = {{1, d.a_ended, &d.a}, {2, d.b_ended, &d.b}};
+    for (const auto& side : sides) {
+      if (side.ended) continue;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"i\",\"pid\":%d,\"tid\":%u,\"ts\":%.3f,"
+                    "\"name\":\"FIRST DIVERGENCE\",\"s\":\"p\",",
+                    side.pid, side.r->conn,
+                    static_cast<double>(side.r->at_ns) / 1e3);
+      out += buf;
+      out += "\"args\":{\"detail\":" + json_quote(describe(*side.r)) +
+             "}},\n";
+    }
+  }
+  out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"trace_complete\",\"args\":{"
+         "\"records\":" +
+         std::to_string(a.size() + b.size()) + "}}\n";
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace prr::obs

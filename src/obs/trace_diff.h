@@ -1,0 +1,78 @@
+// CRN-aligned cross-arm trace diffing (DESIGN.md §9). Under the
+// common-random-numbers harness, a connection's entire sample path —
+// transfer size, think times, drop lottery, fault schedule — derives
+// from (seed, connection id) and is arm-independent, so the same
+// connection run under two recovery arms produces *identical* record
+// streams up to the first ACK where the arms' senders decide
+// differently. That makes diffing trivial and exact: walk the two
+// streams in lockstep (records are trivially comparable 64-byte cells)
+// and the first mismatch IS the first divergent sender decision — the
+// thing the paper's A/B setup could only infer statistically.
+//
+// The streams compared should come from the same (seed, connection,
+// scenario) under two arms; nothing enforces that here, but on
+// unrelated streams the "divergence" is just the first record pair,
+// which is still reported faithfully.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/trace_record.h"
+
+namespace prr::obs {
+
+struct DiffOptions {
+  // Timer schedule/cancel records are bookkeeping-dense and often
+  // differ slightly *after* the interesting decision without being one
+  // themselves; skipping them keeps the reported divergence on a
+  // sender decision. Fires stay visible through their consequences.
+  bool ignore_timers = true;
+  // Context records to keep before the divergence in the report.
+  std::size_t context_records = 5;
+};
+
+struct DivergencePoint {
+  bool diverged = false;
+  // True when one stream ended while the other continued — divergence
+  // by exhaustion (e.g. one arm finished recovery and the trace tail
+  // was cut differently).
+  bool a_ended = false;
+  bool b_ended = false;
+  // Indices into the *filtered* views of the two streams, valid when
+  // the corresponding stream did not end.
+  std::size_t index_a = 0;
+  std::size_t index_b = 0;
+  TraceRecord a{};  // first divergent record of each stream (if any)
+  TraceRecord b{};
+  // Up to DiffOptions::context_records common records immediately
+  // preceding the divergence, oldest first.
+  std::vector<TraceRecord> common;
+  // Records compared equal before the divergence (filtered view).
+  std::size_t common_count = 0;
+};
+
+// Lockstep comparison of two record streams (oldest first). Returns
+// diverged == false when the filtered streams are identical end to end.
+DivergencePoint first_divergence(const std::vector<TraceRecord>& a,
+                                 const std::vector<TraceRecord>& b,
+                                 const DiffOptions& opts = {});
+
+// Human-readable report: the common prefix tail, the two divergent
+// records (or which stream ended), and a field-level callout of what
+// changed when the records share a type.
+std::string explain_divergence(const DivergencePoint& d,
+                               const std::string& arm_a,
+                               const std::string& arm_b);
+
+// Paired Perfetto export: arm A as pid 1, arm B as pid 2 (process
+// names = arm names), plus a "FIRST DIVERGENCE" instant on each side
+// at the divergence timestamps so the viewer lands on the decision.
+std::string perfetto_diff_json(const std::vector<TraceRecord>& a,
+                               const std::vector<TraceRecord>& b,
+                               const std::string& arm_a,
+                               const std::string& arm_b,
+                               const DiffOptions& opts = {});
+
+}  // namespace prr::obs

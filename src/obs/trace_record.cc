@@ -58,6 +58,7 @@ const char* to_string(TraceType t) {
     case TraceType::kWireData: return "wire_data";
     case TraceType::kWireAck: return "wire_ack";
     case TraceType::kInvariant: return "invariant";
+    case TraceType::kLostRetransmit: return "lost_retransmit";
     case TraceType::kCount: break;
   }
   return "?";
@@ -156,6 +157,10 @@ std::string describe(const TraceRecord& r) {
       break;
     case TraceType::kInvariant:
       std::snprintf(p, left, "VIOLATION %s", invariant_name(r.a));
+      break;
+    case TraceType::kLostRetransmit:
+      std::snprintf(p, left, "detected=%" PRIu64 " fast=%" PRIu64, r.f[0],
+                    r.f[1]);
       break;
     case TraceType::kCount:
       break;

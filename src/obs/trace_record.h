@@ -36,16 +36,19 @@ enum class TraceType : uint8_t {
   // One SACK block reported to the sender. a = 1 for a DSACK report;
   // f = {start, end}.
   kSackSeen,
-  // a = 1 when triggered via early retransmit;
+  // a = 1 when triggered via early retransmit; b = mss;
   // f = {flight, ssthresh, pipe, prior_cwnd, recovery_point}.
   kEnterRecovery,
-  // f = {cwnd_after_exit, pipe, retransmits_during, bytes_sent_during}.
+  // f = {cwnd_after_exit, pipe, retransmits_during, bytes_sent_during,
+  // cwnd_at_exit (pre-adjustment), max_burst_segments}.
   kExitRecovery,
   // a = TcpState when the timer hit; f = {snd_una, snd_nxt, cwnd,
-  // backoff_count, rto_ns}.
+  // backoff_count, rto_ns, max_burst_segments (when interrupting
+  // recovery, else 0)}.
   kRtoFired,
   // Congestion-state reversion. a = 0 for DSACK/Eifel undo in recovery,
-  // 1 for a spurious-RTO (F-RTO/Eifel) undo; f = {cwnd, ssthresh}.
+  // 1 for a spurious-RTO (F-RTO/Eifel) undo; f = {cwnd, ssthresh,
+  // pipe_at_exit, max_burst_segments} (f[2], f[3] only for a = 0).
   kUndo,
   // Connection aborted (max RTO backoffs exceeded). f = {snd_una,
   // snd_nxt}.
@@ -66,6 +69,10 @@ enum class TraceType : uint8_t {
   kWireAck,
   // Invariant checker fired. a = tcp::InvariantKind.
   kInvariant,
+  // SACK/DSACK evidence showed one or more retransmissions were
+  // themselves lost (RFC 6675 rescue detection on this ACK).
+  // f = {detected, fast_detected} — counts for this ACK only.
+  kLostRetransmit,
   kCount,
 };
 

@@ -307,6 +307,10 @@ void Sender::process_ack(const net::Segment& ack) {
         static_cast<uint64_t>(out.lost_retransmits_detected));
     ADD(lost_fast_retransmits,
         static_cast<uint64_t>(out.lost_fast_retransmits_detected));
+    PRR_TRACE(recorder_, sim_.now(), conn_id_,
+              obs::TraceType::kLostRetransmit, 0, 0,
+              static_cast<uint64_t>(out.lost_retransmits_detected),
+              static_cast<uint64_t>(out.lost_fast_retransmits_detected));
   }
   if (config_.timestamps && ack.has_ts && ack.tsecr > 0 &&
       out.una_advanced) {
@@ -612,8 +616,8 @@ void Sender::enter_recovery(uint64_t delivered_on_trigger, bool via_er) {
   const uint64_t flight = snd_nxt_ - snd_una_;
   policy_->on_enter(flight, ssthresh_, cwnd_, config_.mss);
   PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kEnterRecovery,
-            via_er ? 1 : 0, 0, flight, ssthresh_, pipe, prior_cwnd_,
-            recovery_point_);
+            via_er ? 1 : 0, static_cast<uint16_t>(config_.mss), flight,
+            ssthresh_, pipe, prior_cwnd_, recovery_point_);
 
   current_event_ = stats::RecoveryEvent{};
   current_event_.start = sim_.now();
@@ -683,7 +687,8 @@ void Sender::exit_recovery() {
   PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kExitRecovery,
             0, 0, cwnd_, pipe,
             static_cast<uint64_t>(current_event_.retransmits),
-            current_event_.bytes_sent_during);
+            current_event_.bytes_sent_during, current_event_.cwnd_at_exit,
+            static_cast<uint64_t>(current_event_.max_burst_segments));
   finish_recovery_event(/*completed=*/true, /*timeout=*/false);
 
   state_ = scoreboard_.any_sacked() ? TcpState::kDisorder : TcpState::kOpen;
@@ -767,7 +772,8 @@ void Sender::try_undo() {
   ssthresh_ = prior_ssthresh_;
   COUNT(undo_events);
   PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kUndo, 0, 0,
-            cwnd_, ssthresh_);
+            cwnd_, ssthresh_, scoreboard_.pipe(),
+            static_cast<uint64_t>(current_event_.max_burst_segments));
   if (recovery_via_er_) COUNT(er_spurious);
   undo_valid_ = false;
   spurious_seen_ = false;
@@ -814,7 +820,10 @@ void Sender::on_rto() {
   PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kRtoFired,
             static_cast<uint8_t>(state_), 0, snd_una_, snd_nxt_, cwnd_,
             static_cast<uint64_t>(rto_est_.backoff_count()),
-            static_cast<uint64_t>(rto_est_.rto().ns()));
+            static_cast<uint64_t>(rto_est_.rto().ns()),
+            state_ == TcpState::kRecovery
+                ? static_cast<uint64_t>(current_event_.max_burst_segments)
+                : 0);
   COUNT(timeouts_total);
   switch (state_) {
     case TcpState::kOpen:
