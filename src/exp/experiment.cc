@@ -18,6 +18,7 @@
 #include "obs/self_profile.h"
 #include "sim/simulator.h"
 #include "tcp/connection.h"
+#include "torture/oracles.h"
 
 namespace prr::exp {
 
@@ -33,6 +34,9 @@ void ArmResult::merge(ArmResult&& shard) {
   quarantined.insert(quarantined.end(),
                      std::make_move_iterator(shard.quarantined.begin()),
                      std::make_move_iterator(shard.quarantined.end()));
+  outcomes.insert(outcomes.end(),
+                  std::make_move_iterator(shard.outcomes.begin()),
+                  std::make_move_iterator(shard.outcomes.end()));
   invariant_violations += shard.invariant_violations;
   acks_checked += shard.acks_checked;
   registry.merge(shard.registry);
@@ -102,6 +106,9 @@ tcp::ConnectionConfig make_connection_config(
   cc.sender.tail_loss_probe = arm.tail_loss_probe;
   cc.sender.pacing = arm.pacing;
   cc.sender.max_rto_backoffs = arm.max_rto_backoffs;
+  cc.sender.renege_recovery = arm.renege_recovery;
+  cc.sender.validate_acks = arm.validate_acks;
+  cc.sender.zero_window_probes = arm.zero_window_probes;
   cc.sender.handshake_rtt = s.rtt;  // measured during the SYN exchange
 
   cc.sender.sack_enabled = s.client_sack;
@@ -119,6 +126,8 @@ tcp::ConnectionConfig make_connection_config(
   cc.path.ack_mangler.ack_loss_probability = s.ack_loss_prob;
   cc.path.ack_mangler.stretch_factor = s.ack_stretch;
   cc.path.ack_mangler.stretch_flush_timeout = s.ack_stretch_flush;
+  cc.path.ack_mangler.misbehavior = s.misbehavior;
+  cc.receiver.renege_at = s.renege_at;
   return cc;
 }
 
@@ -284,6 +293,25 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
                                                         ccfg);
     }
 
+    // Torture oracles (torture/oracles.h): the progress watchdog rides the
+    // RTO hook during the run; deadlock/conservation are teardown checks.
+    // Findings join the checker's violation list, so they quarantine and
+    // replay exactly like per-ACK invariant hits.
+    std::unique_ptr<torture::ProgressWatchdog> watchdog;
+    if (opts.torture_oracles && checker) {
+      torture::ProgressWatchdog::Config wcfg;
+      wcfg.stuck_backoffs = opts.watchdog_rto_backoffs;
+      // "Path up" = an ACK could have come back since the last RTO: the
+      // client is alive and neither direction is dark or stalled.
+      net::Path& path = conn.path();
+      watchdog = std::make_unique<torture::ProgressWatchdog>(
+          conn.sender(), *checker, wcfg, [&path] {
+            return !path.client_dead() && !path.ack_stalled() &&
+                   !path.data_link().blackout() &&
+                   !path.ack_link().blackout();
+          });
+    }
+
     http::ServerApp app(sim, conn, sample.responses,
                         result != nullptr ? &result->latency : nullptr);
     if (sample.client_abandons) {
@@ -294,12 +322,27 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
     sim.run(opts.per_connection_limit);
 
     if (checker) {
+      if (opts.torture_oracles) {
+        torture::check_deadlock(sim, conn.sender(), *checker);
+        torture::check_conservation(conn.sender(), *checker);
+      }
       checker->finalize();
       outcome.violations = checker->violations();
       outcome.acks_checked = checker->acks_checked();
     }
     outcome.aborted = conn.sender().aborted();
     outcome.all_acked = conn.sender().all_acked();
+
+    if (opts.collect_outcomes && result != nullptr) {
+      ConnOutcome co;
+      co.id = id;
+      for (const auto& resp : sample.responses) co.expected_bytes += resp.bytes;
+      co.delivered_bytes = conn.receiver().rcv_nxt();
+      co.all_acked = outcome.all_acked;
+      co.aborted = outcome.aborted;
+      co.app_finished = app.finished();
+      result->outcomes.push_back(co);
+    }
 
     if (result != nullptr) {
       result->total_network_transmit_time +=
@@ -362,6 +405,8 @@ void run_connection_range(const workload::Population& pop,
     rec.connection_id = id;
     rec.arm_name = arm.name;
     rec.scenario = opts.scenario;
+    rec.trace_ring_records = opts.trace_ring_records;
+    rec.trace_tail_records = opts.trace_tail_records;
     rec.fault_summary = outcome.fault_summary;
     rec.violations = outcome.violations;
     rec.exception = std::move(outcome.exception);
@@ -486,6 +531,15 @@ ReplayResult Experiment::replay(const ArmConfig& arm,
   ReplayResult replay;
   RunOptions opts = opts_;
   opts.seed = record.seed;  // the record pins the sample path
+  // The record also pins the trace geometry: the ring size never affects
+  // connection behavior, but the captured tail must match the original
+  // byte for byte for replay artifacts to be comparable.
+  if (record.trace_ring_records != 0) {
+    opts.trace_ring_records = record.trace_ring_records;
+  }
+  if (record.trace_tail_records != 0) {
+    opts.trace_tail_records = record.trace_tail_records;
+  }
   ConnectionOutcome outcome =
       run_one_connection(pop_, arm, opts, record.connection_id,
                          /*force_check=*/true, /*result=*/nullptr,

@@ -50,6 +50,14 @@ struct ArmConfig {
   uint32_t mss = 1430;
   int max_rto_backoffs = 7;
 
+  // Adversarial-endpoint defenses (SenderConfig pass-throughs). On by
+  // default; the torture corpus pins them off to reproduce the classic
+  // wedges each defense prevents (reneging wedge, corrupted-ACK
+  // meltdown, zero-window deadlock).
+  bool renege_recovery = true;
+  bool validate_acks = true;
+  bool zero_window_probes = true;
+
   static ArmConfig prr_arm() {
     ArmConfig a;
     a.name = "PRR";
@@ -79,6 +87,11 @@ struct QuarantineRecord {
   std::string arm_name;
   std::string scenario;       // RunOptions::scenario at the time of the run
   std::string fault_summary;  // FaultSchedule::describe() of the sample
+  // Trace geometry of the run that produced this record. replay() pins
+  // these (when nonzero) so a replayed connection re-runs under the
+  // exact recorder configuration — the captured tail is byte-identical.
+  uint32_t trace_ring_records = 0;
+  uint32_t trace_tail_records = 0;
   std::vector<tcp::InvariantViolation> violations;
   std::string exception;  // non-empty if the connection threw
   // Tail of the connection's flight recorder at the moment of failure
@@ -96,6 +109,21 @@ struct QuarantineRecord {
   // Human-readable dump of the culprit episode (the last reconstructed
   // one, per-ACK ledger included); empty string when none was captured.
   std::string episode_summary() const;
+};
+
+// Per-connection terminal state, collected with
+// RunOptions::collect_outcomes: the input to the torture engine's
+// cross-arm differential oracle (every arm must deliver the identical
+// byte stream or abort cleanly).
+struct ConnOutcome {
+  uint64_t id = 0;
+  uint64_t expected_bytes = 0;   // sum of drawn response sizes
+  uint64_t delivered_bytes = 0;  // receiver's rcv_nxt at teardown
+  bool all_acked = false;
+  bool aborted = false;
+  // The application wrote every response (all_acked alone also holds
+  // mid-gap between responses, where delivered < expected is normal).
+  bool app_finished = false;
 };
 
 struct ArmResult {
@@ -120,6 +148,10 @@ struct ArmResult {
   std::vector<QuarantineRecord> quarantined;
   uint64_t invariant_violations = 0;  // total across the arm
   uint64_t acks_checked = 0;          // ACKs the checker examined
+
+  // Per-connection terminal states in ascending id order (only with
+  // RunOptions::collect_outcomes).
+  std::vector<ConnOutcome> outcomes;
 
   // Named-instrument view of the arm (DESIGN.md §8): per-connection
   // counters/histograms under "tcp." and "exp.", recorder accounting
@@ -199,6 +231,20 @@ struct RunOptions {
   // into ArmResult::registry under "profile.". Nondeterministic by
   // nature; off by default so the registry stays reproducible.
   bool self_profile = false;
+
+  // --- torture engine (torture/) ---
+  // Arm the progress/conservation/termination oracles on every checked
+  // connection (requires check_invariants to have any effect; oracle
+  // findings join the same quarantine pipeline as invariant violations).
+  bool torture_oracles = false;
+  // No-forward-progress watchdog: flag a connection whose snd_una has
+  // not moved across this many consecutive RTO firings while the path
+  // was up the whole time (a true blackhole legitimately stalls; a
+  // healthy path must not).
+  int watchdog_rto_backoffs = 4;
+  // Record every connection's terminal state into ArmResult::outcomes
+  // for the cross-arm differential oracle.
+  bool collect_outcomes = false;
 };
 
 // Outcome of re-running a single quarantined connection in isolation.

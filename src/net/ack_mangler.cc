@@ -10,10 +10,26 @@ AckMangler::AckMangler(sim::Simulator& sim, Config config, sim::Rng rng,
       config_(config),
       rng_(rng),
       forward_(std::move(forward)),
-      flush_timer_(sim, [this] { flush(); }) {}
+      flush_timer_(sim, [this] { flush(); }) {
+  // The misbehaver draws from its own fork so enabling a pathology never
+  // perturbs the loss/stretch draw sequence of the base impairments.
+  if (config_.misbehavior.any_active()) {
+    misbehaver_ = std::make_unique<AckMisbehaver>(
+        sim, config_.misbehavior, rng.fork(0xBAD),
+        [this](Segment&& s) { impair(std::move(s)); });
+  }
+}
 
 void AckMangler::on_ack(Segment&& ack) {
   ++acks_seen_;
+  if (misbehaver_) {
+    misbehaver_->process(std::move(ack));
+    return;
+  }
+  impair(std::move(ack));
+}
+
+void AckMangler::impair(Segment&& ack) {
   if (config_.ack_loss_probability > 0 &&
       rng_.bernoulli(config_.ack_loss_probability)) {
     ++acks_dropped_;

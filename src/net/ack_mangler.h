@@ -3,12 +3,18 @@
 // (cumulative ACK + SACK blocks), dropping all but the last ACK of a
 // coalescing window is an exact model of receive offload: the surviving
 // ACK acknowledges everything the dropped ones did.
+//
+// Adversarial endpoint models (net/misbehavior.h) plug in ahead of the
+// ordinary impairments: misbehavior first (the endpoint emits bad ACKs),
+// then loss and stretch (the path damages whatever was emitted).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 
+#include "net/misbehavior.h"
 #include "net/segment.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -26,6 +32,8 @@ class AckMangler {
     // A held ACK is flushed after this long even if the window isn't full,
     // like an LRO flush timer.
     sim::Time stretch_flush_timeout = sim::Time::microseconds(500);
+    // Adversarial endpoint pathologies (all off by default).
+    MisbehaviorConfig misbehavior;
   };
 
   AckMangler(sim::Simulator& sim, Config config, sim::Rng rng,
@@ -37,14 +45,18 @@ class AckMangler {
   uint64_t acks_forwarded() const { return acks_forwarded_; }
   uint64_t acks_dropped() const { return acks_dropped_; }
   uint64_t acks_coalesced() const { return acks_coalesced_; }
+  // Null when no misbehavior is configured (the common case).
+  const AckMisbehaver* misbehaver() const { return misbehaver_.get(); }
 
  private:
+  void impair(Segment&& ack);  // loss + stretch, post-misbehavior
   void flush();
 
   sim::Simulator& sim_;
   Config config_;
   sim::Rng rng_;
   ForwardFn forward_;
+  std::unique_ptr<AckMisbehaver> misbehaver_;
   sim::Timer flush_timer_;
   std::optional<Segment> held_;
   uint32_t held_count_ = 0;

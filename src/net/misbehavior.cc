@@ -1,0 +1,133 @@
+#include "net/misbehavior.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace prr::net {
+
+AckMisbehaver::AckMisbehaver(sim::Simulator& sim, MisbehaviorConfig config,
+                             sim::Rng rng, EmitFn emit)
+    : sim_(sim),
+      config_(config),
+      rng_(rng),
+      emit_(std::move(emit)),
+      reorder_flush_timer_(sim, [this] { flush_held(); }) {}
+
+void AckMisbehaver::process(Segment&& ack) {
+  // Reordering is decided on the *untransformed* stream so that a swap
+  // exchanges two independently-transformed ACKs. A held ACK is released
+  // after its successor, producing an adjacent swap on the wire.
+  if (held_) {
+    Segment prev = std::move(*held_);
+    held_.reset();
+    reorder_flush_timer_.stop();
+    transform_and_emit(std::move(ack));
+    transform_and_emit(std::move(prev));
+    return;
+  }
+  if (config_.reorder_probability > 0 &&
+      rng_.bernoulli(config_.reorder_probability)) {
+    ++stats_.acks_reordered;
+    held_ = std::move(ack);
+    reorder_flush_timer_.start(config_.reorder_flush_timeout);
+    return;
+  }
+  transform_and_emit(std::move(ack));
+}
+
+void AckMisbehaver::flush_held() {
+  if (!held_) return;
+  Segment prev = std::move(*held_);
+  held_.reset();
+  transform_and_emit(std::move(prev));
+}
+
+void AckMisbehaver::transform_and_emit(Segment&& ack) {
+  const sim::Time now = sim_.now();
+
+  if (in_window(now, config_.suppress_at, config_.suppress_duration) &&
+      !ack.sacks.empty()) {
+    ack.sacks.clear();
+    ack.dsack.reset();
+    ++stats_.sacks_suppressed;
+  }
+
+  if (config_.lie_sack_probability > 0 && !ack.sacks.empty() &&
+      rng_.bernoulli(config_.lie_sack_probability)) {
+    // Claim one extra span above the newest block — data the receiver
+    // never got. The sender must never let a falsely-SACKed hole block
+    // retransmission forever.
+    ack.sacks[0].end += config_.lie_span_bytes;
+    ++stats_.sack_lies;
+  }
+
+  if (config_.dup_sack_probability > 0 && !ack.sacks.empty() &&
+      ack.sacks.size() < 4 &&  // RFC 2018 wire cap
+      rng_.bernoulli(config_.dup_sack_probability)) {
+    ack.sacks.push_back(ack.sacks[0]);
+    ++stats_.sack_dups;
+  }
+
+  if (in_window(now, config_.shrink_at, config_.shrink_duration)) {
+    // Clamp to 1: rwnd 0 on the wire reads as "field unset" at the
+    // sender, which would silently disable the shrink.
+    ack.rwnd = std::max<uint64_t>(1, config_.shrink_rwnd_bytes);
+    ++stats_.rwnds_shrunk;
+  }
+
+  if (config_.corrupt_probability > 0 &&
+      rng_.bernoulli(config_.corrupt_probability)) {
+    ++stats_.acks_corrupted;
+    switch (rng_.uniform_int(0, 2)) {
+      case 0:  // ack far beyond anything ever sent (RFC 5961 territory)
+        ack.ack += 16u << 20;
+        break;
+      case 1:  // ancient regressed ack
+        ack.ack /= 2;
+        break;
+      default:  // inverted SACK block
+        if (!ack.sacks.empty()) {
+          std::swap(ack.sacks[0].start, ack.sacks[0].end);
+        } else {
+          ack.ack += 16u << 20;
+        }
+        break;
+    }
+  }
+
+  // ACK division: replay the cumulative advance in sub-MSS steps. Only
+  // the final sub-ACK carries the SACK blocks (earlier ones predate the
+  // OOO state being reported); all carry the same rwnd.
+  const uint64_t advance =
+      ack.ack > last_ack_forwarded_ ? ack.ack - last_ack_forwarded_ : 0;
+  if (config_.divide_factor > 1 && advance > config_.divide_step_bytes) {
+    const uint64_t step = std::max<uint64_t>(1, config_.divide_step_bytes);
+    uint64_t pieces = std::min<uint64_t>(
+        config_.divide_factor, (advance + step - 1) / step);
+    uint64_t at = ack.ack - advance;
+    ++stats_.acks_divided;
+    for (uint64_t i = 1; i < pieces; ++i) {
+      at += step;
+      Segment sub = ack;
+      sub.ack = at;
+      sub.sacks.clear();
+      sub.dsack.reset();
+      emit_one(std::move(sub));
+    }
+  }
+  emit_one(std::move(ack));
+}
+
+void AckMisbehaver::emit_one(Segment&& ack) {
+  last_ack_forwarded_ = std::max(last_ack_forwarded_, ack.ack);
+  const bool dup = config_.dup_ack_probability > 0 &&
+                   rng_.bernoulli(config_.dup_ack_probability);
+  if (dup) {
+    ++stats_.acks_duplicated;
+    Segment copy = ack;
+    emit_(std::move(copy));
+  }
+  emit_(std::move(ack));
+}
+
+}  // namespace prr::net

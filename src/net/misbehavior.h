@@ -1,0 +1,136 @@
+// Misbehaving-endpoint models for the torture engine: a receiver (or a
+// middlebox on the reverse path) that does not play by the ACK rules the
+// sender's recovery machinery assumes. Each pathology is a per-segment
+// transform applied where ACKs enter the reverse path (inside
+// net::AckMangler, before the ordinary loss/stretch impairments), so a
+// torture schedule drawn from a deterministic Rng replays bit-for-bit:
+//
+//   - lying SACK blocks: a block is widened to claim one extra
+//     never-delivered segment above it (the classic optimistic-ACK /
+//     false-SACK attack — falsely-SACKed holes must not wedge recovery);
+//   - duplicated SACK blocks: a block is reported twice on the wire
+//     (wire-legal; the scoreboard must stay idempotent);
+//   - SACK suppression: during [suppress_at, +duration) every ACK has its
+//     SACK blocks stripped (a SACK-eating middlebox, or the wire view of
+//     a reneging receiver that stopped reporting its OOO queue);
+//   - divided ACKs: one cumulative advance is split into MSS-grained
+//     sub-ACKs delivered back-to-back (Savage's ACK-division attack —
+//     byte-counted cwnd growth must not be amplified);
+//   - ACK duplication and reordering: the reverse path delivers copies
+//     and swaps adjacent ACKs (late ACKs carry stale SACK state);
+//   - receiver-window shrinking: during [shrink_at, +duration) the
+//     advertised window is overwritten with a tiny (possibly zero)
+//     value, violating the RFC 793 "don't shrink" SHOULD;
+//   - corrupted ACK fields: the ack number jumps above anything ever
+//     sent (must be ignored per RFC 5961), regresses to an ancient
+//     value, or a SACK block arrives inverted (start > end).
+//
+// Stateful reneging — the receiver actually *discarding* SACKed data —
+// cannot be modeled on the wire; that flavor lives in tcp::Receiver
+// (Config::renege_at) so the grammar can compose both.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "net/segment.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace prr::net {
+
+struct MisbehaviorConfig {
+  // Per-ACK probability of widening the most recent SACK block by one
+  // `lie_span_bytes` beyond what was actually received.
+  double lie_sack_probability = 0.0;
+  uint32_t lie_span_bytes = 1430;
+
+  // Per-ACK probability of repeating the first SACK block (capacity
+  // permitting — the wire cap of 4 blocks is respected).
+  double dup_sack_probability = 0.0;
+
+  // SACK suppression window (zero duration = off).
+  sim::Time suppress_at = sim::Time::zero();
+  sim::Time suppress_duration = sim::Time::zero();
+
+  // Divided ACKs: split a cumulative advance into at most this many
+  // sub-ACKs, stepped at `divide_step_bytes`. 1 = off.
+  uint32_t divide_factor = 1;
+  uint32_t divide_step_bytes = 1430;
+
+  // Per-ACK probability of emitting an extra copy.
+  double dup_ack_probability = 0.0;
+
+  // Per-ACK probability of holding this ACK and releasing it after the
+  // next one (adjacent swap). A held ACK is flushed after
+  // `reorder_flush_timeout` if no successor arrives.
+  double reorder_probability = 0.0;
+  sim::Time reorder_flush_timeout = sim::Time::milliseconds(200);
+
+  // Receiver-window shrink window: while active, rwnd is overwritten
+  // with `shrink_rwnd_bytes`. Any value below one MSS stalls the sender
+  // once the flight drains and requires zero-window probes to recover.
+  // Must be >= 1: rwnd 0 on the wire means "field unset" to the sender
+  // (it keeps the previous window), so a 1-byte window is the strongest
+  // expressible shrink. Zero duration = off.
+  sim::Time shrink_at = sim::Time::zero();
+  sim::Time shrink_duration = sim::Time::zero();
+  uint64_t shrink_rwnd_bytes = 1;
+
+  // Per-ACK probability of corrupting a field. The corruption drawn is
+  // uniform over: ack beyond anything sent (+16 MB), ack regressed to
+  // half its value, one SACK block inverted (start/end swapped).
+  double corrupt_probability = 0.0;
+
+  bool any_active() const {
+    return lie_sack_probability > 0 || dup_sack_probability > 0 ||
+           !suppress_duration.is_zero() || divide_factor > 1 ||
+           dup_ack_probability > 0 || reorder_probability > 0 ||
+           !shrink_duration.is_zero() || corrupt_probability > 0;
+  }
+};
+
+class AckMisbehaver {
+ public:
+  struct Stats {
+    uint64_t sack_lies = 0;
+    uint64_t sack_dups = 0;
+    uint64_t sacks_suppressed = 0;
+    uint64_t acks_divided = 0;
+    uint64_t acks_duplicated = 0;
+    uint64_t acks_reordered = 0;
+    uint64_t rwnds_shrunk = 0;
+    uint64_t acks_corrupted = 0;
+  };
+
+  using EmitFn = std::function<void(Segment&&)>;
+
+  // `emit` receives every (possibly transformed, possibly multiplied)
+  // ACK in delivery order; the misbehaver must outlive the simulation.
+  AckMisbehaver(sim::Simulator& sim, MisbehaviorConfig config, sim::Rng rng,
+                EmitFn emit);
+
+  void process(Segment&& ack);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void transform_and_emit(Segment&& ack);
+  void emit_one(Segment&& ack);
+  void flush_held();
+  bool in_window(sim::Time at, sim::Time start, sim::Time dur) const {
+    return !dur.is_zero() && at >= start && at < start + dur;
+  }
+
+  sim::Simulator& sim_;
+  MisbehaviorConfig config_;
+  sim::Rng rng_;
+  EmitFn emit_;
+  sim::Timer reorder_flush_timer_;
+  std::optional<Segment> held_;  // awaiting the next ACK (reordering)
+  uint64_t last_ack_forwarded_ = 0;
+  Stats stats_;
+};
+
+}  // namespace prr::net

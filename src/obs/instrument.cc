@@ -15,7 +15,8 @@ static_assert(static_cast<int>(tcp::TcpState::kOpen) == 0 &&
 static_assert(static_cast<int>(net::FaultKind::kBlackout) == 0 &&
               static_cast<int>(net::FaultKind::kReceiverStall) == 5);
 static_assert(static_cast<int>(tcp::InvariantKind::kSndUnaRegressed) == 0 &&
-              static_cast<int>(tcp::InvariantKind::kInjected) == 7);
+              static_cast<int>(tcp::InvariantKind::kInjected) == 7 &&
+              static_cast<int>(tcp::InvariantKind::kArmDivergence) == 11);
 
 Instrument::Instrument(sim::Simulator& sim, tcp::Connection& conn,
                        FlightRecorder& recorder, uint32_t conn_id)

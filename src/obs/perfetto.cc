@@ -108,6 +108,7 @@ void perfetto_append_process(std::string& out,
       case TraceType::kTimerCancel:
       case TraceType::kInvariant:
       case TraceType::kLostRetransmit:
+      case TraceType::kSackReneg:
         instant_event(out, pid, r, to_string(r.type));
         break;
       case TraceType::kTransmit:

@@ -17,8 +17,8 @@ const char* tcp_state_name(unsigned s) {
 }
 
 const char* timer_name(unsigned id) {
-  static const char* kNames[] = {"rto", "er", "tlp", "pacing"};
-  return id < 4 ? kNames[id] : "?";
+  static const char* kNames[] = {"rto", "er", "tlp", "pacing", "persist"};
+  return id < 5 ? kNames[id] : "?";
 }
 
 const char* fault_name(unsigned k) {
@@ -32,8 +32,9 @@ const char* invariant_name(unsigned k) {
   static const char* kNames[] = {
       "snd_una_regressed", "snd_una_beyond_snd_nxt", "cwnd_below_floor",
       "cwnd_above_rwnd",   "pipe_exceeds_flight",    "prr_beyond_slow_start",
-      "timer_leak",        "injected"};
-  return k < 8 ? kNames[k] : "?";
+      "timer_leak",        "injected",               "no_forward_progress",
+      "no_termination",    "conservation",           "arm_divergence"};
+  return k < 12 ? kNames[k] : "?";
 }
 
 }  // namespace
@@ -59,6 +60,7 @@ const char* to_string(TraceType t) {
     case TraceType::kWireAck: return "wire_ack";
     case TraceType::kInvariant: return "invariant";
     case TraceType::kLostRetransmit: return "lost_retransmit";
+    case TraceType::kSackReneg: return "sack_reneg";
     case TraceType::kCount: break;
   }
   return "?";
@@ -160,6 +162,10 @@ std::string describe(const TraceRecord& r) {
       break;
     case TraceType::kLostRetransmit:
       std::snprintf(p, left, "detected=%" PRIu64 " fast=%" PRIu64, r.f[0],
+                    r.f[1]);
+      break;
+    case TraceType::kSackReneg:
+      std::snprintf(p, left, "una=%" PRIu64 " forgotten=%" PRIu64, r.f[0],
                     r.f[1]);
       break;
     case TraceType::kCount:

@@ -73,6 +73,10 @@ enum class TraceType : uint8_t {
   // themselves lost (RFC 6675 rescue detection on this ACK).
   // f = {detected, fast_detected} — counts for this ACK only.
   kLostRetransmit,
+  // Sender decided the receiver's SACK state is untrustworthy (head of
+  // window SACKed at RTO: reneging or a false SACK) and forgot all SACK
+  // marks. f = {snd_una, bytes_forgotten}.
+  kSackReneg,
   kCount,
 };
 

@@ -17,6 +17,10 @@ const char* to_string(InvariantKind kind) {
     case InvariantKind::kPrrBeyondSlowStart: return "prr_beyond_slow_start";
     case InvariantKind::kTimerLeak: return "timer_leak";
     case InvariantKind::kInjected: return "injected";
+    case InvariantKind::kNoForwardProgress: return "no_forward_progress";
+    case InvariantKind::kNoTermination: return "no_termination";
+    case InvariantKind::kConservation: return "conservation";
+    case InvariantKind::kArmDivergence: return "arm_divergence";
   }
   return "?";
 }
@@ -81,13 +85,19 @@ void InvariantChecker::on_post_ack() {
 
   // TCP never clamps cwnd to rwnd directly (the send gate does), but with
   // RFC 2861 cwnd validation the window cannot grow meaningfully past
-  // what the peer lets us keep in flight.
+  // what the peer lets us keep in flight. The bound is the *largest*
+  // window the peer ever advertised: congestion state grown under an
+  // earlier, wider window legitimately persists when a misbehaving
+  // receiver later shrinks rwnd (RFC 793 — shrinking must be tolerated,
+  // and cwnd is not flow-control state; the torture campaign's
+  // rwnd-shrink pathology exercises exactly this).
   const uint64_t rwnd = sender_.peer_rwnd();
-  if (rwnd != UINT64_MAX &&
-      cwnd > rwnd + sender_.config().initial_cwnd_bytes()) {
-    std::snprintf(buf, sizeof buf, "cwnd %llu above rwnd %llu",
+  if (rwnd != UINT64_MAX && rwnd > max_rwnd_seen_) max_rwnd_seen_ = rwnd;
+  if (max_rwnd_seen_ != 0 &&
+      cwnd > max_rwnd_seen_ + sender_.config().initial_cwnd_bytes()) {
+    std::snprintf(buf, sizeof buf, "cwnd %llu above max advertised rwnd %llu",
                   static_cast<unsigned long long>(cwnd),
-                  static_cast<unsigned long long>(rwnd));
+                  static_cast<unsigned long long>(max_rwnd_seen_));
     record(InvariantKind::kCwndAboveRwnd, buf);
   }
 

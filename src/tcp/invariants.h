@@ -42,6 +42,12 @@ enum class InvariantKind {
   kPrrBeyondSlowStart,
   kTimerLeak,
   kInjected,  // synthetic violation for quarantine-path testing
+  // Torture-engine oracles (torture/oracles.h) report through the same
+  // violation/quarantine pipeline:
+  kNoForwardProgress,  // snd_una stuck across K RTO backoffs, path up
+  kNoTermination,      // flow neither finished nor aborted by the deadline
+  kConservation,       // byte-accounting identity broken at teardown
+  kArmDivergence,      // arms delivered different byte streams (cross-arm)
 };
 
 const char* to_string(InvariantKind kind);
@@ -70,6 +76,14 @@ class InvariantChecker {
   // Teardown checks; call once the simulation has finished.
   void finalize();
 
+  // Entry point for external oracles (torture/oracles.h): the violation
+  // joins this checker's list — and its flight-recorder annotation — so
+  // oracle findings flow through the same quarantine/replay pipeline as
+  // the per-ACK checks.
+  void record_external(InvariantKind kind, std::string detail) {
+    record(kind, std::move(detail));
+  }
+
   bool ok() const { return violations_.empty(); }
   const std::vector<InvariantViolation>& violations() const {
     return violations_;
@@ -84,6 +98,9 @@ class InvariantChecker {
   Sender& sender_;
   Config config_;
   uint64_t prev_una_ = 0;
+  // Widest window the peer ever advertised — the cwnd-vs-rwnd bound's
+  // reference (a later shrink does not invalidate earlier cwnd growth).
+  uint64_t max_rwnd_seen_ = 0;
   uint64_t acks_checked_ = 0;
   // PRR episode tracking for the "never more than slow start" bound:
   // slow-start growth is one extra MSS per ACK, so the bound scales with

@@ -30,6 +30,9 @@ Metrics& Metrics::operator+=(const Metrics& o) {
   er_triggered += o.er_triggered;
   er_delayed_cancelled += o.er_delayed_cancelled;
   er_spurious += o.er_spurious;
+  sack_reneg_events += o.sack_reneg_events;
+  bad_acks_ignored += o.bad_acks_ignored;
+  window_probes_sent += o.window_probes_sent;
   connections += o.connections;
   connections_aborted += o.connections_aborted;
   return *this;
@@ -61,6 +64,9 @@ Metrics& Metrics::operator-=(const Metrics& o) {
   er_triggered -= o.er_triggered;
   er_delayed_cancelled -= o.er_delayed_cancelled;
   er_spurious -= o.er_spurious;
+  sack_reneg_events -= o.sack_reneg_events;
+  bad_acks_ignored -= o.bad_acks_ignored;
+  window_probes_sent -= o.window_probes_sent;
   connections -= o.connections;
   connections_aborted -= o.connections_aborted;
   return *this;

@@ -49,6 +49,11 @@ struct Metrics {
   uint64_t er_delayed_cancelled = 0; // pending delayed-ER cancelled by ACK
   uint64_t er_spurious = 0;          // ER recoveries later undone
 
+  // --- adversarial-endpoint defenses (torture engine) ---
+  uint64_t sack_reneg_events = 0;   // SACK marks forgotten at RTO
+  uint64_t bad_acks_ignored = 0;    // ack > snd_nxt dropped (RFC 5961)
+  uint64_t window_probes_sent = 0;  // zero-window probes (RFC 793)
+
   // --- connections ---
   uint64_t connections = 0;
   uint64_t connections_aborted = 0;

@@ -9,8 +9,21 @@ Receiver::Receiver(sim::Simulator& sim, Config config, SendAckFn send_ack)
     : sim_(sim),
       config_(config),
       send_ack_(std::move(send_ack)),
-      delack_timer_(sim, [this] { send_ack_now(std::nullopt); }) {
+      delack_timer_(sim, [this] { send_ack_now(std::nullopt); }),
+      renege_timer_(sim, [this] { renege(); }) {
   quickack_left_ = config_.quickack_segments;
+  if (!config_.renege_at.is_zero()) {
+    renege_timer_.start(config_.renege_at - sim_.now());
+  }
+}
+
+void Receiver::renege() {
+  // Memory pressure: the OOO queue is dropped wholesale. Subsequent ACKs
+  // carry no SACK blocks for the discarded data, and retransmissions of
+  // it are treated as fresh arrivals (covered() no longer claims them).
+  for (const auto& b : ooo_) reneged_bytes_ += b.end - b.start;
+  ooo_.clear();
+  if (reneged_bytes_ > 0) send_ack_now(std::nullopt);
 }
 
 bool Receiver::covered(uint64_t start, uint64_t end) const {

@@ -29,6 +29,11 @@ class Receiver {
     sim::Time delack_timeout = sim::Time::milliseconds(40);
     uint64_t rwnd = 16 * 1024 * 1024;
     int max_sack_blocks = 3;  // hard wire cap of 4 (RFC 2018 option space)
+    // Stateful SACK reneging (RFC 2018 §8 allows it): at this time the
+    // receiver discards its entire out-of-order queue — data it already
+    // SACKed — and stops reporting it. Previously-SACKed holes must then
+    // be retransmitted by the sender or the connection wedges. Zero = off.
+    sim::Time renege_at = sim::Time::zero();
   };
 
   Receiver(sim::Simulator& sim, Config config, SendAckFn send_ack);
@@ -43,6 +48,7 @@ class Receiver {
   uint64_t segments_received() const { return segments_received_; }
   uint64_t duplicate_segments() const { return duplicate_segments_; }
   uint64_t acks_sent() const { return acks_sent_; }
+  uint64_t reneged_bytes() const { return reneged_bytes_; }
 
  private:
   struct OooBlock {
@@ -54,11 +60,13 @@ class Receiver {
   void send_ack_now(std::optional<net::SackBlock> dsack);
   void merge_ooo(uint64_t start, uint64_t end);
   bool covered(uint64_t start, uint64_t end) const;
+  void renege();
 
   sim::Simulator& sim_;
   Config config_;
   SendAckFn send_ack_;
   sim::Timer delack_timer_;
+  sim::Timer renege_timer_;
 
   uint64_t rcv_nxt_ = 0;
   std::vector<OooBlock> ooo_;
@@ -71,6 +79,7 @@ class Receiver {
   uint64_t segments_received_ = 0;
   uint64_t duplicate_segments_ = 0;
   uint64_t acks_sent_ = 0;
+  uint64_t reneged_bytes_ = 0;
 };
 
 }  // namespace prr::tcp

@@ -21,6 +21,20 @@ void Scoreboard::set_sacked(SegRecord& r) {
   r.sacked = true;
 }
 
+void Scoreboard::clear_sacked(SegRecord& r) {
+  if (!r.sacked) return;
+  sacked_bytes_ -= r.len();
+  --sacked_segs_;
+  // Stale lost/retransmitted flags re-enter the pipe tallies they were
+  // excluded from while the record counted as SACKed.
+  if (r.lost) {
+    lost_bytes_ += r.len();
+    ++lost_segs_;
+  }
+  if (r.retransmitted) retransmitted_in_flight_bytes_ += r.len();
+  r.sacked = false;
+}
+
 void Scoreboard::set_lost(SegRecord& r) {
   if (r.lost) return;
   if (!r.sacked) {
@@ -259,6 +273,18 @@ void Scoreboard::on_timeout_mark_all_lost() {
     set_lost(r);
     clear_retransmitted(r);  // everything is slated for retransmission
   }
+}
+
+uint64_t Scoreboard::forget_sack_marks() {
+  uint64_t forgotten = 0;
+  for (auto& r : records_) {
+    if (!r.sacked) continue;
+    forgotten += r.len();
+    clear_sacked(r);
+  }
+  // The FACK frontier was built from marks we no longer believe.
+  highest_sacked_end_ = snd_una_;
+  return forgotten;
 }
 
 void Scoreboard::clear_unretransmitted_loss_marks() {

@@ -105,6 +105,21 @@ class Scoreboard {
   // retransmissions (RTO: everything is slated for retransmit).
   void on_timeout_mark_all_lost();
 
+  // RFC 2018 §8 reneging recovery: discard every SACK mark so the data
+  // becomes retransmittable again. Called before on_timeout_mark_all_lost
+  // when the sender decides the receiver's SACK state can no longer be
+  // trusted (the head of the window is SACKed yet snd.una never advanced
+  // over it — impossible with an honest receiver). Returns bytes forgotten.
+  uint64_t forget_sack_marks();
+
+  // True when the record at snd.una is SACKed — with an honest receiver a
+  // SACK covering rcv_nxt is impossible (it would have been cum-ACKed),
+  // so this is the reneging/false-SACK wedge signal (Linux
+  // tcp_check_sack_reneging checks exactly the head skb).
+  bool head_sacked() const {
+    return !records_.empty() && records_.front().sacked;
+  }
+
   // Forces the first hole lost (early-retransmit entry, where the dupack
   // threshold was lowered below what the marking rules require).
   void mark_first_hole_lost();
@@ -149,6 +164,7 @@ class Scoreboard {
   // All record state changes funnel through these so the running tallies
   // stay consistent (each is idempotent in the flag it sets/clears).
   void set_sacked(SegRecord& r);
+  void clear_sacked(SegRecord& r);
   void set_lost(SegRecord& r);
   void clear_lost(SegRecord& r);
   void set_retransmitted(SegRecord& r);

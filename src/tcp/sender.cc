@@ -42,7 +42,8 @@ Sender::Sender(sim::Simulator& sim, SenderConfig config, SendFn send,
       rto_timer_(sim, [this] { on_rto(); }),
       er_timer_(sim, [this] { on_er_timer(); }),
       tlp_timer_(sim, [this] { on_tlp_timer(); }),
-      pacing_timer_(sim, [this] { try_send(); }) {
+      pacing_timer_(sim, [this] { try_send(); }),
+      persist_timer_(sim, [this] { on_persist_timer(); }) {
   cwnd_ = config_.initial_cwnd_bytes();
   dupthresh_ = config_.dupthresh;
   fack_enabled_ = config_.use_fack;
@@ -76,7 +77,8 @@ void Sender::set_recorder(obs::FlightRecorder* recorder, uint32_t conn_id) {
   } timers[] = {{&rto_timer_, 0},
                 {&er_timer_, 1},
                 {&tlp_timer_, 2},
-                {&pacing_timer_, 3}};
+                {&pacing_timer_, 3},
+                {&persist_timer_, 4}};
   for (const auto& [timer, id] : timers) {
     if (recorder == nullptr) {
       timer->set_trace(nullptr);
@@ -108,6 +110,7 @@ void Sender::write(uint64_t bytes) {
   }
   write_end_ += bytes;
   try_send();
+  maybe_arm_persist();
 }
 
 uint64_t Sender::effective_pipe() const {
@@ -274,6 +277,13 @@ void Sender::on_ack_segment(const net::Segment& ack) {
 void Sender::process_ack(const net::Segment& ack) {
   if (aborted_) return;
   if (on_ack_hook) on_ack_hook(ack);
+  if (config_.validate_acks && ack.ack > snd_nxt_) {
+    // RFC 5961 §5: an ACK for data never sent is invalid — processing it
+    // would teleport snd.una beyond snd.nxt. Drop it (its rwnd too: a
+    // corrupted segment's fields are all untrustworthy).
+    COUNT(bad_acks_ignored);
+    return;
+  }
   if (ack.rwnd != 0) peer_rwnd_ = ack.rwnd;
   if (ack.ack < snd_una_) return;  // ancient ACK: ignore
 
@@ -397,6 +407,13 @@ void Sender::process_ack(const net::Segment& ack) {
     if (!tlp_timer_.pending()) rto_timer_.start(rto_est_.rto());
     maybe_arm_tlp();
   }
+  // Zero-window handling: an opened window ends any persist episode; a
+  // closed one with nothing in flight starts (or continues) probing.
+  if (can_send_new() || snd_nxt_ >= write_end_) {
+    persist_timer_.stop();
+    persist_backoff_ = 0;
+  }
+  maybe_arm_persist();
 
 #if PRR_TRACE_ENABLED
   if (recorder_ != nullptr) {
@@ -853,6 +870,18 @@ void Sender::on_rto() {
   }
 
   cwnd_ = config_.mss;  // restart the self clock from one segment
+  if (config_.renege_recovery && scoreboard_.head_sacked()) {
+    // The head of the window is SACKed yet snd.una never moved over it:
+    // the receiver reneged (RFC 2018 §8) or the SACK was a lie. Either
+    // way the marks are untrustworthy — forget them all so the data
+    // below becomes retransmittable, exactly like Linux's
+    // tcp_check_sack_reneging → tcp_timeout_mark_lost path.
+    [[maybe_unused]] const uint64_t forgotten =
+        scoreboard_.forget_sack_marks();
+    COUNT(sack_reneg_events);
+    PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kSackReneg, 0,
+              0, snd_una_, forgotten);
+  }
   scoreboard_.on_timeout_mark_all_lost();
   rto_head_retransmit_pending_ = true;
   if (config_.frto) {
@@ -865,12 +894,45 @@ void Sender::on_rto() {
 
   tlp_timer_.stop();
   rto_est_.backoff();
+  if (on_rto_hook) on_rto_hook(snd_una_, rto_est_.backoff_count());
   if (rto_est_.backoff_count() > config_.max_rto_backoffs) {
     abort_connection();
     return;
   }
   try_send();
   rto_timer_.start(rto_est_.rto());
+}
+
+void Sender::maybe_arm_persist() {
+  // Deadlock guard: data is waiting, nothing is in flight (so no RTO is
+  // armed), and the advertised window blocks even one MSS. Without a
+  // probe no event will ever fire again on this connection.
+  if (!config_.zero_window_probes || aborted_) return;
+  if (persist_timer_.pending()) return;
+  if (snd_una_ < snd_nxt_) return;      // in-flight data: RTO owns progress
+  if (snd_nxt_ >= write_end_) return;   // nothing left to send
+  if (can_send_new()) return;           // window open: try_send handles it
+  const sim::Time base = rto_est_.rto();
+  const int shift = std::min(persist_backoff_, 6);
+  const sim::Time interval =
+      std::min(base * (int64_t{1} << shift), sim::Time::seconds(60.0));
+  persist_timer_.start(interval);
+}
+
+void Sender::on_persist_timer() {
+  if (aborted_) return;
+  if (can_send_new() || snd_nxt_ >= write_end_ || snd_una_ < snd_nxt_) {
+    // The window opened (or data went into flight) since arming.
+    persist_backoff_ = 0;
+    return;
+  }
+  // RFC 793 window probe: one byte beyond the advertised window. The
+  // probe is real stream data, so its ACK both advances the flow and
+  // reports the current window.
+  COUNT(window_probes_sent);
+  ++persist_backoff_;
+  transmit(snd_nxt_, snd_nxt_ + 1, /*retx=*/false);
+  snd_nxt_ += 1;
 }
 
 void Sender::abort_connection() {
@@ -883,6 +945,7 @@ void Sender::abort_connection() {
   er_timer_.stop();
   tlp_timer_.stop();
   pacing_timer_.stop();
+  persist_timer_.stop();
   if (busy_) {
     busy_ = false;
     busy_accum_ += sim_.now() - busy_since_;

@@ -106,6 +106,25 @@ struct SenderConfig {
   bool pacing = false;
   double pacing_gain = 1.25;
 
+  // RFC 2018 §8 reneging recovery: when an RTO fires with the head of
+  // the window SACKed but never cumulatively ACKed — impossible with an
+  // honest receiver, so the SACK state is a lie or has been reneged —
+  // forget all SACK marks so the data is retransmitted. Without this a
+  // reneging receiver (or one false-SACK) wedges the connection: the
+  // "SACKed" head is never eligible for retransmission and snd.una never
+  // advances. Off reproduces the wedge (torture corpus).
+  bool renege_recovery = true;
+  // RFC 5961-flavored ACK validation: ignore ACKs acknowledging data
+  // never sent (ack > snd.nxt). Without it a corrupted ACK teleports
+  // snd.una beyond snd.nxt and the scoreboard melts down.
+  bool validate_acks = true;
+  // RFC 793 zero-window probing: when the peer's advertised window
+  // blocks all sending and nothing is in flight, probe with one byte at
+  // a backed-off interval instead of waiting forever. Without it a
+  // receiver that shrinks rwnd below one MSS deadlocks the connection
+  // (no timer is pending once the flight drains).
+  bool zero_window_probes = true;
+
   RtoEstimator::Config rto;
   // RTT measured during the SYN exchange (zero = none): real stacks enter
   // ESTABLISHED with one sample, which keeps the first RTO sane on long
@@ -149,6 +168,11 @@ class Sender {
   // observation point (tcp/invariants.h).
   std::function<void(const net::Segment&)> on_post_ack_hook;
   std::function<void()> on_abort_hook;
+  // Fired on every RTO expiry with (snd_una, backoff_count) after the
+  // backoff was applied — the progress watchdog's observation point
+  // (torture/oracles.h): during a blackhole no ACKs arrive, so a per-ACK
+  // hook would never see the stall.
+  std::function<void(uint64_t, int)> on_rto_hook;
   // Self-profiling tap (obs::SelfProfiler): wall-clock nanoseconds spent
   // processing each ACK. When unset, on_ack_segment takes no clock
   // readings.
@@ -180,7 +204,7 @@ class Sender {
   // aborted (the no-timer-leak invariant).
   bool loss_timers_pending() const {
     return rto_timer_.pending() || er_timer_.pending() ||
-           tlp_timer_.pending();
+           tlp_timer_.pending() || persist_timer_.pending();
   }
   int dupthresh() const { return dupthresh_; }
   bool fack_enabled() const { return fack_enabled_; }
@@ -240,6 +264,9 @@ class Sender {
   void arm_rto();
   void abort_connection();
 
+  void maybe_arm_persist();
+  void on_persist_timer();
+
   void grow_cwnd_open(uint64_t acked_bytes);
   void note_transmit_state_change();
 
@@ -258,6 +285,8 @@ class Sender {
   sim::Timer er_timer_;
   sim::Timer tlp_timer_;
   sim::Timer pacing_timer_;
+  sim::Timer persist_timer_;
+  int persist_backoff_ = 0;
   sim::Time next_pace_at_ = sim::Time::zero();
 
   TcpState state_ = TcpState::kOpen;

@@ -1,0 +1,126 @@
+#include "torture/pathology.h"
+
+namespace prr::torture {
+
+namespace {
+
+sim::Time draw_time(sim::Rng& rng, sim::Time lo, sim::Time hi) {
+  return sim::Time::nanoseconds(static_cast<int64_t>(
+      rng.uniform(static_cast<double>(lo.ns()), static_cast<double>(hi.ns()))));
+}
+
+}  // namespace
+
+void PathologyDraw::apply(workload::ConnectionSample& s) const {
+  s.misbehavior = misbehavior;
+  s.renege_at = renege_at;
+  if (ack_loss_prob > 0) s.ack_loss_prob = ack_loss_prob;
+  if (ack_stretch > 1) s.ack_stretch = ack_stretch;
+  s.faults.merge(faults);
+}
+
+PathologyDraw PathologyProfile::draw(sim::Rng rng) const {
+  // Each family draws from its own fork of the rng, so a family's
+  // outcome is a pure function of (its parameters, the seed): tightening
+  // or disabling one family never perturbs what any other family draws.
+  PathologyDraw d;
+
+  if (sim::Rng r = rng.fork(10); r.bernoulli(p_renege)) {
+    d.renege_at = draw_time(r, renege_min, renege_max);
+  }
+  if (sim::Rng r = rng.fork(11); r.bernoulli(p_lie_sack)) {
+    d.misbehavior.lie_sack_probability = r.uniform(lie_prob_min, lie_prob_max);
+  }
+  if (sim::Rng r = rng.fork(12); r.bernoulli(p_dup_sack)) {
+    d.misbehavior.dup_sack_probability =
+        r.uniform(dup_sack_prob_min, dup_sack_prob_max);
+  }
+  if (sim::Rng r = rng.fork(13); r.bernoulli(p_suppress)) {
+    d.misbehavior.suppress_at =
+        draw_time(r, suppress_onset_min, suppress_onset_max);
+    d.misbehavior.suppress_duration =
+        draw_time(r, suppress_dur_min, suppress_dur_max);
+  }
+  if (sim::Rng r = rng.fork(14); r.bernoulli(p_divide)) {
+    d.misbehavior.divide_factor = static_cast<uint32_t>(
+        r.uniform_int(divide_factor_min, divide_factor_max));
+  }
+  if (sim::Rng r = rng.fork(15); r.bernoulli(p_dup_ack)) {
+    d.misbehavior.dup_ack_probability =
+        r.uniform(dup_ack_prob_min, dup_ack_prob_max);
+  }
+  if (sim::Rng r = rng.fork(16); r.bernoulli(p_reorder_acks)) {
+    d.misbehavior.reorder_probability =
+        r.uniform(reorder_prob_min, reorder_prob_max);
+  }
+  if (sim::Rng r = rng.fork(17); r.bernoulli(p_shrink)) {
+    d.misbehavior.shrink_at = draw_time(r, shrink_onset_min, shrink_onset_max);
+    d.misbehavior.shrink_duration =
+        draw_time(r, shrink_dur_min, shrink_dur_max);
+  }
+  if (sim::Rng r = rng.fork(18); r.bernoulli(p_corrupt)) {
+    d.misbehavior.corrupt_probability =
+        r.uniform(corrupt_prob_min, corrupt_prob_max);
+  }
+  if (sim::Rng r = rng.fork(19); r.bernoulli(p_ack_loss)) {
+    d.ack_loss_prob = r.uniform(ack_loss_min, ack_loss_max);
+  }
+  if (sim::Rng r = rng.fork(20); r.bernoulli(p_stretch)) {
+    d.ack_stretch =
+        static_cast<uint32_t>(r.uniform_int(stretch_min, stretch_max));
+  }
+  d.faults = net::FaultSchedule::random(faults, rng.fork(1));
+  return d;
+}
+
+PathologyProfile PathologyProfile::standard() {
+  PathologyProfile p;
+  p.p_renege = 0.25;
+  p.p_lie_sack = 0.25;
+  p.p_dup_sack = 0.2;
+  p.p_suppress = 0.2;
+  p.p_divide = 0.2;
+  p.p_dup_ack = 0.2;
+  p.p_reorder_acks = 0.2;
+  p.p_shrink = 0.25;
+  p.p_corrupt = 0.15;
+  p.p_ack_loss = 0.15;
+  p.p_stretch = 0.15;
+  p.faults.p_blackout = 0.15;
+  p.faults.p_ack_outage = 0.1;
+  p.faults.p_receiver_stall = 0.1;
+  p.faults.p_rtt_spike = 0.1;
+  return p;
+}
+
+PathologyProfile PathologyProfile::only_renege() {
+  PathologyProfile p;
+  p.p_renege = 1.0;
+  return p;
+}
+
+PathologyProfile PathologyProfile::only_lie_sack() {
+  PathologyProfile p;
+  p.p_lie_sack = 1.0;
+  return p;
+}
+
+PathologyProfile PathologyProfile::only_shrink() {
+  PathologyProfile p;
+  p.p_shrink = 1.0;
+  return p;
+}
+
+PathologyProfile PathologyProfile::only_corrupt() {
+  PathologyProfile p;
+  p.p_corrupt = 1.0;
+  return p;
+}
+
+workload::ConnectionSample TorturePopulation::sample(sim::Rng rng) const {
+  workload::ConnectionSample s = base_.sample(rng);
+  profile_.draw(rng.fork(0x7047)).apply(s);
+  return s;
+}
+
+}  // namespace prr::torture

@@ -1,0 +1,117 @@
+// Seeded pathology grammar: the torture campaign's generator of
+// adversarial connection environments. A PathologyProfile gives each
+// pathology family an independent activation probability and an
+// intensity range; draw() composes an activated subset into one
+// concrete, plain-data PathologyDraw — wire-level ACK misbehavior
+// (net::MisbehaviorConfig), stateful receiver reneging, ACK-path
+// impairments, and time-varying path faults (net::FaultProfile, the
+// chaos machinery reused as a grammar production).
+//
+// Determinism contract: draw() is a pure function of (profile, rng), so
+// a (seed, connection id) pair replays the identical pathology set —
+// the property the quarantine/replay/shrink pipeline is built on.
+// TorturePopulation applies the draw through a reserved sub-stream
+// (fork 0x7047) of the per-connection rng, leaving the base sample
+// path untouched: cross-arm comparisons stay common-random-numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "net/fault_schedule.h"
+#include "net/misbehavior.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "workload/population.h"
+
+namespace prr::torture {
+
+// One concrete pathology set for one connection: everything the grammar
+// layered on top of the base sample, as plain data (loggable,
+// serializable into a ReproCase, shrinkable).
+struct PathologyDraw {
+  net::MisbehaviorConfig misbehavior;
+  sim::Time renege_at = sim::Time::zero();
+  double ack_loss_prob = 0.0;      // 0 = keep the base sample's value
+  uint32_t ack_stretch = 1;        // 1 = keep the base sample's value
+  net::FaultSchedule faults;       // merged into the base sample's
+
+  // Applies this draw on top of a base sample.
+  void apply(workload::ConnectionSample& s) const;
+};
+
+struct PathologyProfile {
+  // --- stateful receiver reneging (tcp::Receiver) ---
+  double p_renege = 0.0;
+  sim::Time renege_min = sim::Time::milliseconds(200);
+  sim::Time renege_max = sim::Time::seconds(3);
+
+  // --- wire-level SACK lies / duplication / suppression ---
+  double p_lie_sack = 0.0;
+  double lie_prob_min = 0.005, lie_prob_max = 0.08;
+  double p_dup_sack = 0.0;
+  double dup_sack_prob_min = 0.02, dup_sack_prob_max = 0.3;
+  double p_suppress = 0.0;
+  sim::Time suppress_onset_min = sim::Time::milliseconds(200);
+  sim::Time suppress_onset_max = sim::Time::seconds(3);
+  sim::Time suppress_dur_min = sim::Time::milliseconds(200);
+  sim::Time suppress_dur_max = sim::Time::seconds(2);
+
+  // --- ACK stream shape attacks ---
+  double p_divide = 0.0;
+  uint32_t divide_factor_min = 2, divide_factor_max = 8;
+  double p_dup_ack = 0.0;
+  double dup_ack_prob_min = 0.02, dup_ack_prob_max = 0.15;
+  double p_reorder_acks = 0.0;
+  double reorder_prob_min = 0.005, reorder_prob_max = 0.06;
+
+  // --- flow-control and field corruption ---
+  double p_shrink = 0.0;
+  sim::Time shrink_onset_min = sim::Time::milliseconds(200);
+  sim::Time shrink_onset_max = sim::Time::seconds(3);
+  sim::Time shrink_dur_min = sim::Time::milliseconds(300);
+  sim::Time shrink_dur_max = sim::Time::seconds(2);
+  double p_corrupt = 0.0;
+  double corrupt_prob_min = 0.001, corrupt_prob_max = 0.02;
+
+  // --- ACK-path impairments layered over the base sample ---
+  double p_ack_loss = 0.0;
+  double ack_loss_min = 0.02, ack_loss_max = 0.15;
+  double p_stretch = 0.0;
+  uint32_t stretch_min = 2, stretch_max = 4;
+
+  // --- time-varying path faults (chaos grammar productions) ---
+  net::FaultProfile faults;
+
+  // Draws one connection's pathology set. Pure in (this, rng).
+  PathologyDraw draw(sim::Rng rng) const;
+
+  // The campaign's default mix: every family active with moderate
+  // probability (a typical connection composes one to three
+  // pathologies), plus blackouts/ACK outages from the fault grammar.
+  static PathologyProfile standard();
+  // Single-family profiles, one per pathology, for focused tests.
+  static PathologyProfile only_renege();
+  static PathologyProfile only_lie_sack();
+  static PathologyProfile only_shrink();
+  static PathologyProfile only_corrupt();
+};
+
+// Decorator: draws the base population's sample unchanged, then layers a
+// pathology draw from `profile` on top, using the reserved sub-stream
+// fork 0x7047 of the per-connection rng (the base sample path — and
+// hence every cross-arm comparison — is identical with and without
+// torture).
+class TorturePopulation final : public workload::Population {
+ public:
+  TorturePopulation(const workload::Population& base,
+                    PathologyProfile profile)
+      : base_(base), profile_(profile) {}
+
+  workload::ConnectionSample sample(sim::Rng rng) const override;
+
+ private:
+  const workload::Population& base_;
+  PathologyProfile profile_;
+};
+
+}  // namespace prr::torture

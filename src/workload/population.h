@@ -13,6 +13,7 @@
 #include "http/server_app.h"
 #include "net/fault_schedule.h"
 #include "net/loss_model.h"
+#include "net/misbehavior.h"
 #include "sim/rng.h"
 #include "sim/time.h"
 #include "util/units.h"
@@ -49,6 +50,13 @@ struct ConnectionSample {
   // experiments): blackouts, bandwidth shifts, RTT spikes, queue
   // resizes, ACK outages, receiver stalls. Empty = stationary path.
   net::FaultSchedule faults;
+
+  // Adversarial endpoint models (torture experiments): wire-level ACK
+  // misbehavior applied inside the AckMangler, and stateful SACK
+  // reneging in the receiver (it discards its OOO queue at this time;
+  // zero = never). All off by default.
+  net::MisbehaviorConfig misbehavior;
+  sim::Time renege_at = sim::Time::zero();
 
   std::vector<http::ResponseSpec> responses;
 };

@@ -1,0 +1,88 @@
+// Corpus regression: every minimized repro checked into tests/corpus/
+// must keep reproducing its recorded failure signature, and must do so
+// identically on repeated runs (the replay path is deterministic). New
+// campaign findings get minimized by the shrinker and added here; a
+// repro that stops reproducing means either the bug was fixed (delete
+// it) or the replay pipeline broke (fix that).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "torture/repro.h"
+
+namespace prr::torture {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(PRR_CORPUS_DIR)) {
+    if (entry.path().extension() == ".repro")
+      files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(TortureCorpus, IsNotEmpty) {
+  EXPECT_FALSE(corpus_files().empty())
+      << "no .repro files under " << PRR_CORPUS_DIR;
+}
+
+TEST(TortureCorpus, EveryReproReproducesItsSignature) {
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    ReproCase c;
+    std::string err;
+    ASSERT_TRUE(load_repro(path, c, &err)) << err;
+    ASSERT_FALSE(c.expect.empty()) << "corpus case without a signature";
+    exp::ReplayResult r = run_repro(c);
+    EXPECT_TRUE(repro_reproduced(c, r)) << [&] {
+      std::string got = "replay saw: all_acked=" +
+                        std::to_string(r.all_acked) +
+                        " aborted=" + std::to_string(r.aborted);
+      for (const auto& v : r.violations)
+        got += std::string("\n  [") + tcp::to_string(v.kind) + "] " +
+               v.detail;
+      return got;
+    }();
+  }
+}
+
+TEST(TortureCorpus, ReplayIsDeterministic) {
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    ReproCase c;
+    std::string err;
+    ASSERT_TRUE(load_repro(path, c, &err)) << err;
+    exp::ReplayResult a = run_repro(c);
+    exp::ReplayResult b = run_repro(c);
+    ASSERT_EQ(a.violations.size(), b.violations.size());
+    for (size_t i = 0; i < a.violations.size(); ++i) {
+      EXPECT_EQ(a.violations[i].kind, b.violations[i].kind);
+      EXPECT_EQ(a.violations[i].at.ns(), b.violations[i].at.ns());
+      EXPECT_EQ(a.violations[i].detail, b.violations[i].detail);
+    }
+    EXPECT_EQ(a.all_acked, b.all_acked);
+    EXPECT_EQ(a.aborted, b.aborted);
+    EXPECT_EQ(a.acks_checked, b.acks_checked);
+  }
+}
+
+TEST(TortureCorpus, FilesRoundTripByteExactly) {
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    ReproCase c;
+    std::string err;
+    ASSERT_TRUE(load_repro(path, c, &err)) << err;
+    ReproCase back;
+    ASSERT_TRUE(from_text(to_text(c), back, &err)) << err;
+    EXPECT_EQ(to_text(back), to_text(c));
+  }
+}
+
+}  // namespace
+}  // namespace prr::torture
