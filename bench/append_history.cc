@@ -42,6 +42,27 @@ std::string slurp(const std::string& path) {
   return out;
 }
 
+// Collapses pretty-printed JSON onto one line (newlines and their
+// indentation removed) so the embedded document keeps the history file
+// genuinely one-record-per-line. None of the bench JSON carries string
+// values with embedded newlines, so this cannot corrupt a value.
+std::string minify(const std::string& json) {
+  std::string out;
+  out.reserve(json.size());
+  std::size_t i = 0;
+  while (i < json.size()) {
+    const char c = json[i];
+    if (c == '\n' || c == '\r') {
+      ++i;
+      while (i < json.size() && (json[i] == ' ' || json[i] == '\t')) ++i;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -87,8 +108,9 @@ int main() {
   std::string line = "{\"sha\":" + obs::json_quote(sha) +
                      ",\"machine\":{\"host\":" + obs::json_quote(host) +
                      ",\"hardware_concurrency\":" + std::to_string(hw) +
-                     "},\"sweep\":" + (sweep_ok ? sweep : "null") +
-                     ",\"trace\":" + (trace_ok ? trace : "null") + "}\n";
+                     "},\"sweep\":" + (sweep_ok ? minify(sweep) : "null") +
+                     ",\"trace\":" + (trace_ok ? minify(trace) : "null") +
+                     "}\n";
 
   std::FILE* out = std::fopen(hist_path.c_str(), "ab");
   if (!out) {

@@ -6,10 +6,34 @@
 // in the working directory so future PRs have a perf trajectory to
 // compare against.
 //
-// Env overrides: SWEEP_CONNECTIONS (default 2000), SWEEP_THREADS
-// (comma-separated list, default "1,2,4,8"), BENCH_SWEEP_JSON (output
-// path, default "BENCH_SWEEP.json").
+// Memory is measured, not asserted: the JSON carries peak RSS and
+// bytes-per-connection so the constant-memory claim of the streaming
+// fold (DESIGN.md §11) shows up as a flat curve when SWEEP_CONNECTIONS
+// grows.
+//
+// Fork-per-shard mode (SWEEP_PROCS=P): the same population is split into
+// P contiguous connection-id ranges, each run to completion in a forked
+// child that writes a digest-checked per-shard JSON; the parent merges
+// the shards in ascending-id order and verifies the merged aggregates
+// reproduce the single-process run bit for bit. Every connection's
+// sample path derives from (seed, id) alone, so process boundaries — like
+// thread boundaries — cannot change any aggregate.
+//
+// Env overrides:
+//   SWEEP_CONNECTIONS   population size per arm        (default 2000)
+//   SWEEP_THREADS       comma-separated thread counts  (default "1,2,4,8")
+//   SWEEP_PROCS         fork-per-shard process count   (default 0 = off)
+//   SWEEP_BOUNDED       1 = bounded O(1)-memory stats  (default 0)
+//   SWEEP_POOL          0 = disable connection arenas  (default 1)
+//   SWEEP_MEM_BUDGET_MB fail if peak RSS exceeds this  (default 0 = off)
+//   SWEEP_KEEP_SHARDS   1 = keep per-shard JSON files  (default 0)
+//   BENCH_SWEEP_JSON    output path                    (default "BENCH_SWEEP.json")
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,24 +70,172 @@ std::vector<int> parse_thread_list(const char* spec) {
   return out;
 }
 
-uint64_t fingerprint(const std::vector<exp::ArmResult>& results) {
-  // Cheap order-sensitive digest of the aggregates that must be thread-
-  // count invariant.
+// The flat integer aggregates of one arm that every thread count, and
+// every process split, must reproduce exactly. Plain sums of
+// per-connection contributions, so merging shards in ascending-id order
+// is associative and exact (no floating point anywhere).
+struct ArmAgg {
+  uint64_t data_segments_sent = 0;
+  uint64_t retransmits_total = 0;
+  uint64_t timeouts_total = 0;
+  uint64_t workload_bytes = 0;
+  uint64_t recovery_count = 0;
+  uint64_t latency_count = 0;
+  int64_t transmit_time_ns = 0;
+
+  static ArmAgg from(const exp::ArmResult& r) {
+    ArmAgg a;
+    a.data_segments_sent = r.metrics.data_segments_sent;
+    a.retransmits_total = r.metrics.retransmits_total;
+    a.timeouts_total = r.metrics.timeouts_total;
+    a.workload_bytes = r.total_workload_bytes;
+    a.recovery_count = r.recovery_log.count();
+    // count() == responses().size() in unbounded mode and stays exact in
+    // bounded mode, so the digest is identical across stats modes.
+    a.latency_count = r.latency.count();
+    a.transmit_time_ns = r.total_network_transmit_time.ns();
+    return a;
+  }
+
+  void add(const ArmAgg& o) {
+    data_segments_sent += o.data_segments_sent;
+    retransmits_total += o.retransmits_total;
+    timeouts_total += o.timeouts_total;
+    workload_bytes += o.workload_bytes;
+    recovery_count += o.recovery_count;
+    latency_count += o.latency_count;
+    transmit_time_ns += o.transmit_time_ns;
+  }
+};
+
+// Cheap order-sensitive digest of the aggregates that must be thread-
+// count (and process-count) invariant.
+uint64_t fingerprint(const std::vector<ArmAgg>& aggs) {
   uint64_t h = 1469598103934665603ull;
   auto mix = [&h](uint64_t v) {
     h ^= v;
     h *= 1099511628211ull;
   };
-  for (const auto& r : results) {
-    mix(r.metrics.data_segments_sent);
-    mix(r.metrics.retransmits_total);
-    mix(r.metrics.timeouts_total);
-    mix(r.total_workload_bytes);
-    mix(static_cast<uint64_t>(r.recovery_log.count()));
-    mix(static_cast<uint64_t>(r.latency.responses().size()));
-    mix(static_cast<uint64_t>(r.total_network_transmit_time.ns()));
+  for (const auto& a : aggs) {
+    mix(a.data_segments_sent);
+    mix(a.retransmits_total);
+    mix(a.timeouts_total);
+    mix(a.workload_bytes);
+    mix(a.recovery_count);
+    mix(a.latency_count);
+    mix(static_cast<uint64_t>(a.transmit_time_ns));
   }
   return h;
+}
+
+std::vector<ArmAgg> aggregate(const std::vector<exp::ArmResult>& results) {
+  std::vector<ArmAgg> aggs;
+  aggs.reserve(results.size());
+  for (const auto& r : results) aggs.push_back(ArmAgg::from(r));
+  return aggs;
+}
+
+// Peak resident set of this process, in bytes (Linux ru_maxrss is KiB).
+uint64_t peak_rss_bytes() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<uint64_t>(ru.ru_maxrss) * 1024ull;
+}
+
+// --- fork-per-shard: per-shard JSON format -------------------------------
+//
+// {"shard": k, "first": lo, "connections": n, "arms": [
+//    {"data_segments_sent": ..., ..., "transmit_time_ns": ...}, ...],
+//  "self_digest": "0x..."}
+//
+// self_digest is fingerprint() over the arms array, written by the child
+// and recomputed by the parent after parsing — a torn or truncated shard
+// file cannot be silently merged.
+
+void write_shard_json(const std::string& path, uint64_t shard,
+                      uint64_t first, int connections,
+                      const std::vector<ArmAgg>& aggs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) _exit(3);
+  std::fprintf(f,
+               "{\"shard\": %" PRIu64 ", \"first\": %" PRIu64
+               ", \"connections\": %d, \"arms\": [\n",
+               shard, first, connections);
+  for (std::size_t i = 0; i < aggs.size(); ++i) {
+    const ArmAgg& a = aggs[i];
+    std::fprintf(f,
+                 "  {\"data_segments_sent\": %" PRIu64
+                 ", \"retransmits_total\": %" PRIu64
+                 ", \"timeouts_total\": %" PRIu64
+                 ", \"workload_bytes\": %" PRIu64
+                 ", \"recovery_count\": %" PRIu64
+                 ", \"latency_count\": %" PRIu64
+                 ", \"transmit_time_ns\": %" PRId64 "}%s\n",
+                 a.data_segments_sent, a.retransmits_total,
+                 a.timeouts_total, a.workload_bytes, a.recovery_count,
+                 a.latency_count, a.transmit_time_ns,
+                 i + 1 < aggs.size() ? "," : "");
+  }
+  std::fprintf(f, "], \"self_digest\": \"0x%016" PRIx64 "\"}\n",
+               fingerprint(aggs));
+  std::fclose(f);
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+// Scans for `"key": <uint>` starting at *pos; advances *pos past the
+// value. Returns false (leaving *pos alone) if the key is absent.
+bool scan_u64(const std::string& s, std::size_t* pos, const char* key,
+              uint64_t* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = s.find(needle, *pos);
+  if (at == std::string::npos) return false;
+  const char* p = s.c_str() + at + needle.size();
+  char* end = nullptr;
+  *out = std::strtoull(p, &end, 10);
+  if (end == p) return false;
+  *pos = static_cast<std::size_t>(end - s.c_str());
+  return true;
+}
+
+// Parses one shard file back into its arms; returns false on a missing
+// field or a self-digest mismatch.
+bool parse_shard_json(const std::string& path, std::size_t num_arms,
+                      std::vector<ArmAgg>* out) {
+  const std::string s = slurp(path);
+  if (s.empty()) return false;
+  std::size_t pos = 0;
+  out->clear();
+  for (std::size_t i = 0; i < num_arms; ++i) {
+    ArmAgg a;
+    uint64_t ns = 0;
+    if (!scan_u64(s, &pos, "data_segments_sent", &a.data_segments_sent) ||
+        !scan_u64(s, &pos, "retransmits_total", &a.retransmits_total) ||
+        !scan_u64(s, &pos, "timeouts_total", &a.timeouts_total) ||
+        !scan_u64(s, &pos, "workload_bytes", &a.workload_bytes) ||
+        !scan_u64(s, &pos, "recovery_count", &a.recovery_count) ||
+        !scan_u64(s, &pos, "latency_count", &a.latency_count) ||
+        !scan_u64(s, &pos, "transmit_time_ns", &ns)) {
+      return false;
+    }
+    a.transmit_time_ns = static_cast<int64_t>(ns);
+    out->push_back(a);
+  }
+  const std::size_t at = s.find("\"self_digest\": \"0x");
+  if (at == std::string::npos) return false;
+  const uint64_t recorded =
+      std::strtoull(s.c_str() + at + std::strlen("\"self_digest\": \"0x"),
+                    nullptr, 16);
+  return recorded == fingerprint(*out);
 }
 
 }  // namespace
@@ -76,10 +248,20 @@ int main() {
 
   const char* conn_env = std::getenv("SWEEP_CONNECTIONS");
   const char* threads_env = std::getenv("SWEEP_THREADS");
+  const char* procs_env = std::getenv("SWEEP_PROCS");
+  const char* bounded_env = std::getenv("SWEEP_BOUNDED");
+  const char* pool_env = std::getenv("SWEEP_POOL");
+  const char* budget_env = std::getenv("SWEEP_MEM_BUDGET_MB");
+  const char* keep_env = std::getenv("SWEEP_KEEP_SHARDS");
   const char* json_env = std::getenv("BENCH_SWEEP_JSON");
   const int connections = conn_env ? std::atoi(conn_env) : 2000;
   const std::vector<int> thread_counts =
       parse_thread_list(threads_env ? threads_env : "1,2,4,8");
+  const int procs = procs_env ? std::atoi(procs_env) : 0;
+  const bool bounded = bounded_env && std::atoi(bounded_env) != 0;
+  const bool pool = pool_env ? std::atoi(pool_env) != 0 : true;
+  const double budget_mb = budget_env ? std::atof(budget_env) : 0.0;
+  const bool keep_shards = keep_env && std::atoi(keep_env) != 0;
   const std::string json_path = json_env ? json_env : "BENCH_SWEEP.json";
 
   workload::WebWorkload pop;
@@ -87,6 +269,8 @@ int main() {
   exp::RunOptions opts;
   opts.connections = connections;
   opts.seed = 20110501;
+  opts.bounded_stats = bounded;
+  opts.pool_connections = pool;
 
   // Parallel speedup numbers are only meaningful when the machine has
   // cores to scale onto; on a 1-core box every thread count serializes
@@ -94,11 +278,13 @@ int main() {
   // is the figure future PRs should track in that case.
   const unsigned hw = std::thread::hardware_concurrency();
   const bool speedup_meaningful = hw > 1;
-  std::printf("hardware_concurrency=%u%s\n\n", hw,
+  std::printf("hardware_concurrency=%u%s%s%s\n\n", hw,
               speedup_meaningful
                   ? ""
                   : "  (1 core: speedup columns are noise; track the "
-                    "serial conns/sec trend instead)");
+                    "serial conns/sec trend instead)",
+              bounded ? "  [bounded stats]" : "",
+              pool ? "" : "  [pooling off]");
 
   std::vector<Point> points;
   uint64_t serial_digest = 0;
@@ -119,7 +305,7 @@ int main() {
         static_cast<double>(connections) * static_cast<double>(arms.size());
     p.conns_per_sec = p.seconds > 0 ? total_conns / p.seconds : 0;
 
-    const uint64_t digest = fingerprint(results);
+    const uint64_t digest = fingerprint(aggregate(results));
     if (points.empty()) {
       serial_digest = digest;
       serial_seconds = p.seconds;
@@ -145,6 +331,98 @@ int main() {
   }
   std::printf("\nserial trend: %.1f conns/sec\n", serial_conns_per_sec);
 
+  // --- fork-per-shard pass -----------------------------------------------
+  // Children run disjoint id-ranges of the same population and write
+  // digest-checked shard JSON; the parent merges in ascending-id order
+  // and the merged aggregates must equal the in-process run bit for bit.
+  bool fork_merge_identical = true;  // vacuously true when the mode is off
+  double procs_seconds = 0;
+  if (procs > 0) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t n = static_cast<uint64_t>(connections);
+    const uint64_t nprocs =
+        std::min<uint64_t>(static_cast<uint64_t>(procs), n);
+    std::vector<pid_t> children;
+    std::vector<std::string> shard_paths;
+    for (uint64_t k = 0; k < nprocs; ++k) {
+      const uint64_t lo = n * k / nprocs;
+      const uint64_t hi = n * (k + 1) / nprocs;
+      const std::string shard_path =
+          json_path + ".shard" + std::to_string(k);
+      shard_paths.push_back(shard_path);
+      const pid_t pid = fork();
+      if (pid < 0) {
+        std::perror("fork");
+        return 1;
+      }
+      if (pid == 0) {
+        // Child: its whole contribution is the shard file.
+        exp::RunOptions shard_opts = opts;
+        shard_opts.threads = 1;
+        shard_opts.first_connection = lo;
+        shard_opts.connections = static_cast<int>(hi - lo);
+        const std::vector<exp::ArmResult> shard_results =
+            exp::run_arms(pop, arms, shard_opts);
+        write_shard_json(shard_path, k, lo, shard_opts.connections,
+                         aggregate(shard_results));
+        _exit(0);
+      }
+      children.push_back(pid);
+    }
+    for (pid_t pid : children) {
+      int status = 0;
+      if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+          WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr, "FAIL: shard child %d did not exit cleanly\n",
+                     static_cast<int>(pid));
+        fork_merge_identical = false;
+      }
+    }
+    std::vector<ArmAgg> merged(arms.size());
+    for (std::size_t k = 0; k < shard_paths.size(); ++k) {
+      std::vector<ArmAgg> shard;
+      if (!parse_shard_json(shard_paths[k], arms.size(), &shard)) {
+        std::fprintf(stderr,
+                     "FAIL: shard %zu failed its self-digest check\n", k);
+        fork_merge_identical = false;
+        continue;
+      }
+      for (std::size_t a = 0; a < arms.size(); ++a) merged[a].add(shard[a]);
+    }
+    if (fork_merge_identical && fingerprint(merged) != serial_digest) {
+      std::fprintf(stderr,
+                   "FAIL: fork-per-shard merge differs from in-process "
+                   "aggregates\n");
+      fork_merge_identical = false;
+    }
+    if (!keep_shards) {
+      for (const auto& p : shard_paths) std::remove(p.c_str());
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    procs_seconds = std::chrono::duration<double>(t1 - t0).count();
+    std::printf("procs=%-3d %8.2fs  fork-per-shard merge %s\n",
+                static_cast<int>(nprocs), procs_seconds,
+                fork_merge_identical ? "identical" : "MISMATCH");
+  }
+
+  // --- memory ------------------------------------------------------------
+  const uint64_t rss = peak_rss_bytes();
+  const double rss_mb = static_cast<double>(rss) / (1024.0 * 1024.0);
+  const double total_conns =
+      static_cast<double>(connections) * static_cast<double>(arms.size());
+  const double bytes_per_conn =
+      total_conns > 0 ? static_cast<double>(rss) / total_conns : 0;
+  std::printf("peak RSS: %.1f MB  (%.1f B/connection over %d x %zu)\n",
+              rss_mb, bytes_per_conn, connections, arms.size());
+  bool within_budget = true;
+  if (budget_mb > 0 && rss_mb > budget_mb) {
+    within_budget = false;
+    std::fprintf(stderr,
+                 "FAIL: peak RSS %.1f MB exceeds SWEEP_MEM_BUDGET_MB "
+                 "%.1f\n",
+                 rss_mb, budget_mb);
+  }
+
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -157,13 +435,21 @@ int main() {
                "  \"arms\": %zu,\n"
                "  \"hardware_concurrency\": %u,\n"
                "  \"speedup_meaningful\": %s,\n"
+               "  \"bounded_stats\": %s,\n"
+               "  \"pool_connections\": %s,\n"
                "  \"serial_conns_per_sec\": %.1f,\n"
                "  \"aggregates_identical\": %s,\n"
+               "  \"peak_rss_mb\": %.1f,\n"
+               "  \"bytes_per_connection\": %.1f,\n"
+               "  \"fork_procs\": %d,\n"
+               "  \"fork_merge_identical\": %s,\n"
                "  \"points\": [\n",
                connections, arms.size(), hw,
                speedup_meaningful ? "true" : "false",
-               serial_conns_per_sec,
-               digests_match ? "true" : "false");
+               bounded ? "true" : "false", pool ? "true" : "false",
+               serial_conns_per_sec, digests_match ? "true" : "false",
+               rss_mb, bytes_per_conn, procs,
+               fork_merge_identical ? "true" : "false");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     // On a 1-core machine speedup_vs_serial is emitted as null rather
@@ -182,5 +468,5 @@ int main() {
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", json_path.c_str());
-  return digests_match ? 0 : 1;
+  return (digests_match && fork_merge_identical && within_budget) ? 0 : 1;
 }

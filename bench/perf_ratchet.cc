@@ -1,0 +1,127 @@
+// perf_ratchet: compares the serial conns/sec of the current
+// BENCH_SWEEP.json against the history recorded in BENCH_HISTORY.jsonl
+// and fails when throughput regressed by more than the tolerance.
+//
+// Perf numbers only compare within one machine, so the ratchet filters
+// history to entries from the same host with the same hardware
+// concurrency, and measures against the BEST such entry (the ratchet
+// only tightens: a noisy slow run in history never lowers the bar). A
+// machine with no history passes vacuously — the first recorded run
+// becomes its bar.
+//
+// Environment:
+//   BENCH_SWEEP_JSON     current sweep result (default "BENCH_SWEEP.json")
+//   BENCH_HISTORY_JSONL  history to ratchet against
+//                        (default "BENCH_HISTORY.jsonl")
+//   RATCHET_TOLERANCE    allowed fractional regression (default 0.10)
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+// Finds `"key": <number>` (whitespace after the colon optional) within
+// s[from..); returns -1 when absent.
+double find_number(const std::string& s, const char* key,
+                   std::size_t from = 0) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = s.find(needle, from);
+  if (at == std::string::npos) return -1;
+  return std::atof(s.c_str() + at + needle.size());
+}
+
+std::string find_string(const std::string& s, const char* key,
+                        std::size_t from = 0) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t at = s.find(needle, from);
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + needle.size();
+  const std::size_t end = s.find('"', start);
+  if (end == std::string::npos) return {};
+  return s.substr(start, end - start);
+}
+
+}  // namespace
+
+int main() {
+  const char* sweep_env = std::getenv("BENCH_SWEEP_JSON");
+  const char* hist_env = std::getenv("BENCH_HISTORY_JSONL");
+  const char* tol_env = std::getenv("RATCHET_TOLERANCE");
+  const std::string sweep_path = sweep_env ? sweep_env : "BENCH_SWEEP.json";
+  const std::string hist_path =
+      hist_env ? hist_env : "BENCH_HISTORY.jsonl";
+  const double tolerance = tol_env ? std::atof(tol_env) : 0.10;
+
+  const std::string sweep = slurp(sweep_path);
+  if (sweep.empty()) {
+    std::fprintf(stderr, "perf_ratchet: cannot read %s\n",
+                 sweep_path.c_str());
+    return 1;
+  }
+  const double current = find_number(sweep, "serial_conns_per_sec");
+  if (current <= 0) {
+    std::fprintf(stderr,
+                 "perf_ratchet: no serial_conns_per_sec in %s\n",
+                 sweep_path.c_str());
+    return 1;
+  }
+
+  char host[256] = "unknown";
+  if (gethostname(host, sizeof(host) - 1) != 0) std::strcpy(host, "unknown");
+
+  const std::string history = slurp(hist_path);
+  double best = 0;
+  int considered = 0;
+  // One JSON object per line; scan line by line.
+  std::size_t line_start = 0;
+  while (line_start < history.size()) {
+    std::size_t line_end = history.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = history.size();
+    const std::string line =
+        history.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    if (line.empty()) continue;
+    if (find_string(line, "host") != host) continue;
+    const double past = find_number(line, "serial_conns_per_sec");
+    if (past <= 0) continue;
+    ++considered;
+    if (past > best) best = past;
+  }
+
+  if (considered == 0) {
+    std::printf(
+        "perf_ratchet: no history for host %s in %s — current %.1f "
+        "conns/sec becomes the bar (PASS)\n",
+        host, hist_path.c_str(), current);
+    return 0;
+  }
+
+  const double floor = best * (1.0 - tolerance);
+  const bool ok = current >= floor;
+  std::printf(
+      "perf_ratchet: current %.1f conns/sec vs best %.1f over %d "
+      "same-host run%s (floor %.1f at %.0f%% tolerance) — %s\n",
+      current, best, considered, considered == 1 ? "" : "s", floor,
+      tolerance * 100.0, ok ? "PASS" : "FAIL");
+  if (!ok) {
+    std::fprintf(stderr,
+                 "perf_ratchet: serial throughput regressed %.1f%% "
+                 "(> %.0f%% allowed)\n",
+                 (1.0 - current / best) * 100.0, tolerance * 100.0);
+  }
+  return ok ? 0 : 1;
+}

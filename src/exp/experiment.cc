@@ -1,15 +1,17 @@
 #include "exp/experiment.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "exp/conn_arena.h"
+#include "exp/stream_fold.h"
 #include "net/fault_injector.h"
 #include "net/loss_model.h"
 #include "net/reorder_model.h"
@@ -141,46 +143,64 @@ struct ConnectionOutcome {
   std::vector<obs::TraceRecord> trace_tail;  // captured only on failure
 };
 
-// Folds one finished connection into the arm's named-instrument view.
-// Every input is a deterministic function of (seed, id, arm), and the
-// registry merge is commutative per name, so the per-arm totals below
-// are byte-identical at any thread count and reconcile exactly with the
-// tcp::Metrics accumulator (`delta` is this connection's contribution).
-void fold_connection_registry(obs::MetricsRegistry& reg,
-                              const tcp::Metrics& delta,
+// Folds one finished connection into the arm's named-instrument view,
+// through pre-bound handles (RegistryHandles) so the sweep hot path pays
+// pointer dereferences instead of ~16 string-keyed map lookups per
+// connection. Every input is a deterministic function of (seed, id, arm),
+// and the registry merge is commutative per name, so the per-arm totals
+// below are byte-identical at any thread count and reconcile exactly with
+// the tcp::Metrics accumulator (`delta` is this connection's
+// contribution). The abort/complete tallies stay lazily created so the
+// registry's instrument set is exactly what the uncached path produced.
+void fold_connection_registry(RegistryHandles& h, const tcp::Metrics& delta,
                               const tcp::Sender& sender, sim::Time ran_for) {
-  reg.counter("tcp.data_segments_sent")->add(delta.data_segments_sent);
-  reg.counter("tcp.bytes_sent")->add(delta.bytes_sent);
-  reg.counter("tcp.retransmits_total")->add(delta.retransmits_total);
-  reg.counter("tcp.fast_retransmits")->add(delta.fast_retransmits);
-  reg.counter("tcp.timeouts_total")->add(delta.timeouts_total);
-  reg.counter("tcp.fast_recovery_events")->add(delta.fast_recovery_events);
-  reg.counter("tcp.undo_events")->add(delta.undo_events);
-  reg.counter("tcp.dsacks_received")->add(delta.dsacks_received);
-  reg.counter("exp.connections_run")->inc();
-  if (sender.aborted()) reg.counter("exp.connections_aborted")->inc();
-  if (sender.all_acked()) reg.counter("exp.connections_completed")->inc();
-  reg.histogram("tcp.retransmits_per_conn")->record(delta.retransmits_total);
-  reg.histogram("tcp.timeouts_per_conn")->record(delta.timeouts_total);
-  reg.histogram("tcp.final_cwnd_bytes")->record(sender.cwnd_bytes());
-  reg.histogram("exp.conn_sim_time_ns")
-      ->record(static_cast<uint64_t>(ran_for.ns()));
-  obs::Gauge* g = reg.gauge("exp.max_conn_sim_time_ns");
-  if (ran_for.ns() > g->value()) g->set(ran_for.ns());
+  h.data_segments_sent->add(delta.data_segments_sent);
+  h.bytes_sent->add(delta.bytes_sent);
+  h.retransmits_total->add(delta.retransmits_total);
+  h.fast_retransmits->add(delta.fast_retransmits);
+  h.timeouts_total->add(delta.timeouts_total);
+  h.fast_recovery_events->add(delta.fast_recovery_events);
+  h.undo_events->add(delta.undo_events);
+  h.dsacks_received->add(delta.dsacks_received);
+  h.connections_run->inc();
+  if (sender.aborted()) {
+    if (!h.connections_aborted) {
+      h.connections_aborted = h.owner->counter("exp.connections_aborted");
+    }
+    h.connections_aborted->inc();
+  }
+  if (sender.all_acked()) {
+    if (!h.connections_completed) {
+      h.connections_completed = h.owner->counter("exp.connections_completed");
+    }
+    h.connections_completed->inc();
+  }
+  h.retransmits_per_conn->record(delta.retransmits_total);
+  h.timeouts_per_conn->record(delta.timeouts_total);
+  h.final_cwnd_bytes->record(sender.cwnd_bytes());
+  h.conn_sim_time_ns->record(static_cast<uint64_t>(ran_for.ns()));
+  if (ran_for.ns() > h.max_conn_sim_time_ns->value()) {
+    h.max_conn_sim_time_ns->set(ran_for.ns());
+  }
 }
 
 // Runs connection `id` of the (pop, arm, opts) experiment — the one place
 // both the sweep and quarantine replay go through, so a replay is the
 // exact computation the original run performed. `result` may be null
 // (replay mode: no aggregation). `force_check` enables the invariant
-// checker regardless of opts.check_invariants. Exceptions are caught
-// here (not in the caller) so the flight-recorder tail can be captured
-// after the stack unwinds.
+// checker regardless of opts.check_invariants. `arena` may be null (the
+// fresh-objects path: one-off callers, replay, pooling disabled); when
+// set, the simulator/connection/app are recycled from it through the
+// reset() protocol — "fresh == reset by construction", so both paths are
+// the identical computation. Exceptions are caught here (not in the
+// caller) so the flight-recorder tail can be captured after the stack
+// unwinds.
 ConnectionOutcome run_one_connection(const workload::Population& pop,
                                      const ArmConfig& arm,
                                      const RunOptions& opts, uint64_t id,
                                      bool force_check, ArmResult* result,
-                                     obs::FlightRecorder* shared_recorder) {
+                                     obs::FlightRecorder* shared_recorder,
+                                     ConnArena* arena) {
   ConnectionOutcome outcome;
   const bool check = force_check || opts.check_invariants;
 
@@ -222,7 +242,9 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
     // Common random numbers: the sample and all network randomness derive
     // from (seed, id), independent of the arm.
     sim::Rng conn_rng = sim::Rng(opts.seed).fork(id);
-    workload::ConnectionSample sample = pop.sample(conn_rng.fork(100));
+    workload::ConnectionSample local_sample;
+    workload::ConnectionSample& sample = arena ? arena->sample : local_sample;
+    pop.sample_into(conn_rng.fork(100), sample);
     if (result != nullptr) {
       for (const auto& resp : sample.responses) {
         result->total_workload_bytes += resp.bytes;
@@ -230,11 +252,32 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
     }
     outcome.fault_summary = sample.faults.describe();
 
-    sim::Simulator sim;
-    tcp::Connection conn(sim, make_connection_config(sample, arm),
-                         conn_rng.fork(101),
-                         result != nullptr ? &result->metrics : nullptr,
-                         result != nullptr ? &result->recovery_log : nullptr);
+    std::optional<sim::Simulator> local_sim;
+    if (arena) {
+      arena->sim.reset();
+    } else {
+      local_sim.emplace();
+    }
+    sim::Simulator& sim = arena ? arena->sim : *local_sim;
+
+    tcp::Metrics* metrics = result != nullptr ? &result->metrics : nullptr;
+    stats::RecoveryLog* rlog =
+        result != nullptr ? &result->recovery_log : nullptr;
+    std::optional<tcp::Connection> local_conn;
+    if (arena) {
+      if (!arena->conn) {
+        arena->conn.emplace(sim, make_connection_config(sample, arm),
+                            conn_rng.fork(101), metrics, rlog);
+      } else {
+        arena->conn->reset(make_connection_config(sample, arm),
+                           conn_rng.fork(101), metrics, rlog);
+        arena->check_reset_state();
+      }
+    } else {
+      local_conn.emplace(sim, make_connection_config(sample, arm),
+                         conn_rng.fork(101), metrics, rlog);
+    }
+    tcp::Connection& conn = arena ? *arena->conn : *local_conn;
     if (recorder) {
       conn.sender().set_recorder(recorder, static_cast<uint32_t>(id));
     }
@@ -249,21 +292,22 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
       profiler.attach(conn.sender());
     }
 
-    // Network impairments, seeded independently of the arm.
+    // Network impairments, seeded independently of the arm. Clean paths
+    // (the common case in pooled sweeps) skip the composite allocation
+    // entirely.
     {
-      auto composite = std::make_unique<net::CompositeLoss>();
-      bool any = false;
-      if (sample.loss.p_good_to_bad > 0 || sample.loss.loss_in_good > 0) {
-        composite->add(std::make_unique<net::GilbertElliottLoss>(
-            sample.loss, conn_rng.fork(102)));
-        any = true;
-      }
-      if (sample.outages) {
-        composite->add(std::make_unique<net::OutageLoss>(
-            sim, sample.outage, conn_rng.fork(104)));
-        any = true;
-      }
-      if (any) {
+      const bool ge_loss =
+          sample.loss.p_good_to_bad > 0 || sample.loss.loss_in_good > 0;
+      if (ge_loss || sample.outages) {
+        auto composite = std::make_unique<net::CompositeLoss>();
+        if (ge_loss) {
+          composite->add(std::make_unique<net::GilbertElliottLoss>(
+              sample.loss, conn_rng.fork(102)));
+        }
+        if (sample.outages) {
+          composite->add(std::make_unique<net::OutageLoss>(
+              sim, sample.outage, conn_rng.fork(104)));
+        }
         conn.path().data_link().set_loss_model(std::move(composite));
       }
     }
@@ -312,8 +356,19 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
           });
     }
 
-    http::ServerApp app(sim, conn, sample.responses,
-                        result != nullptr ? &result->latency : nullptr);
+    stats::LatencyTracker* latency =
+        result != nullptr ? &result->latency : nullptr;
+    std::optional<http::ServerApp> local_app;
+    if (arena) {
+      if (!arena->app) {
+        arena->app.emplace(sim, conn, sample.responses, latency);
+      } else {
+        arena->app->reset(sample.responses, latency);
+      }
+    } else {
+      local_app.emplace(sim, conn, sample.responses, latency);
+    }
+    http::ServerApp& app = arena ? *arena->app : *local_app;
     if (sample.client_abandons) {
       sim.schedule_in(sample.abandon_after,
                       [&conn] { conn.path().kill_client(); });
@@ -352,13 +407,21 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
 
       tcp::Metrics delta = result->metrics;
       delta -= metrics_before;
-      fold_connection_registry(result->registry, delta, conn.sender(),
-                               sim.now());
+      RegistryHandles local_handles;
+      RegistryHandles& handles = arena ? arena->handles : local_handles;
+      if (handles.owner != &result->registry) {
+        handles.bind(result->registry);
+      }
+      fold_connection_registry(handles, delta, conn.sender(), sim.now());
       if (recorder) {
-        result->registry.counter("obs.trace.records_written")
-            ->add(recorder->total_written());
-        result->registry.counter("obs.trace.records_dropped")
-            ->add(recorder->dropped());
+        if (!handles.trace_records_written) {
+          handles.trace_records_written =
+              result->registry.counter("obs.trace.records_written");
+          handles.trace_records_dropped =
+              result->registry.counter("obs.trace.records_dropped");
+        }
+        handles.trace_records_written->add(recorder->total_written());
+        handles.trace_records_dropped->add(recorder->dropped());
       }
       if (opts.self_profile) profiler.export_into(result->registry);
     }
@@ -385,17 +448,22 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
 // and every worker chunk execute, so the two are the same computation.
 void run_connection_range(const workload::Population& pop,
                           const ArmConfig& arm, const RunOptions& opts,
-                          uint64_t begin, uint64_t end, ArmResult& result) {
+                          uint64_t begin, uint64_t end, ArmResult& result,
+                          ConnArena* arena) {
   // One ring per shard, cleared between connections — the sweep's trace
   // cost is the record writes, not a per-connection ring allocation.
   std::optional<obs::FlightRecorder> recorder;
   if (opts.trace || opts.check_invariants || opts.collect_episodes) {
     recorder.emplace(opts.trace_ring_records);
   }
+  // The previous range's shard (and its registry) is gone by now, and its
+  // successor may occupy the same address — cached instrument handles
+  // must not survive the boundary.
+  if (arena) arena->handles.invalidate();
   for (uint64_t id = begin; id < end; ++id) {
     ConnectionOutcome outcome = run_one_connection(
         pop, arm, opts, id, /*force_check=*/false, &result,
-        recorder ? &*recorder : nullptr);
+        recorder ? &*recorder : nullptr, arena);
     result.acks_checked += outcome.acks_checked;
     if (outcome.violations.empty() && outcome.exception.empty()) continue;
 
@@ -458,7 +526,7 @@ TracedConnection trace_connection(const workload::Population& pop,
   traced.collect_episodes = false;  // the local builder handles episodes
   ConnectionOutcome outcome =
       run_one_connection(pop, arm, traced, id, /*force_check=*/false,
-                         /*result=*/nullptr, &recorder);
+                         /*result=*/nullptr, &recorder, /*arena=*/nullptr);
   builder.finish();
   out.episodes = builder.episodes();
   out.aborted = outcome.aborted;
@@ -470,32 +538,54 @@ ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,
                   const RunOptions& opts) {
   ArmResult result;
   result.name = arm.name;
+  result.latency.set_bounded(opts.bounded_stats);
+  result.recovery_log.set_bounded(opts.bounded_stats);
   const auto n = static_cast<uint64_t>(std::max(opts.connections, 0));
+  const uint64_t first = opts.first_connection;
   const int threads = resolve_threads(opts);
 
   if (threads == 1) {
-    run_connection_range(pop, arm, opts, 0, n, result);
+    std::optional<ConnArena> arena;
+    if (opts.pool_connections) arena.emplace();
+    run_connection_range(pop, arm, opts, first, first + n, result,
+                         arena ? &*arena : nullptr);
     return result;
   }
 
   // Contiguous chunks of connection ids, claimed dynamically (connection
   // costs vary wildly, so static block partitioning would load-imbalance).
-  // Each chunk accumulates into its own ArmResult shard; shards are merged
-  // in chunk order afterwards, which is ascending connection-id order —
-  // the serial aggregation, bit for bit.
-  const uint64_t chunk_size = std::max<uint64_t>(
-      1, n / (static_cast<uint64_t>(threads) * 8));
+  // Each chunk accumulates into its own ArmResult shard; the StreamFolder
+  // folds shards into `result` in chunk order — ascending connection-id
+  // order, the serial aggregation bit for bit — while keeping only a
+  // bounded reorder window of shards alive, so sweep memory is
+  // O(threads + fold_window) regardless of n. The ceil in the chunk-size
+  // formula guarantees num_chunks <= threads * 8 (the floor form
+  // degenerated to chunk_size 1 — one shard per connection — whenever
+  // n < threads * 8).
+  const uint64_t target_chunks = static_cast<uint64_t>(threads) * 8;
+  const uint64_t chunk_size =
+      std::max<uint64_t>(1, (n + target_chunks - 1) / target_chunks);
   const uint64_t num_chunks = (n + chunk_size - 1) / chunk_size;
-  std::vector<ArmResult> shards(num_chunks);
-  std::atomic<uint64_t> next_chunk{0};
+  const uint64_t window =
+      opts.fold_window > 0 ? opts.fold_window
+                           : 2 * static_cast<uint64_t>(threads);
+  StreamFolder<ArmResult, std::function<void(ArmResult&&)>> folder(
+      num_chunks, window,
+      [&result](ArmResult&& shard) { result.merge(std::move(shard)); });
 
   auto worker = [&] {
-    for (;;) {
-      const uint64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
-      if (c >= num_chunks) return;
-      const uint64_t begin = c * chunk_size;
-      const uint64_t end = std::min(n, begin + chunk_size);
-      run_connection_range(pop, arm, opts, begin, end, shards[c]);
+    std::optional<ConnArena> arena;
+    if (opts.pool_connections) arena.emplace();
+    uint64_t c = 0;
+    while (folder.claim(c)) {
+      ArmResult shard;
+      shard.latency.set_bounded(opts.bounded_stats);
+      shard.recovery_log.set_bounded(opts.bounded_stats);
+      const uint64_t begin = first + c * chunk_size;
+      const uint64_t end = std::min(first + n, begin + chunk_size);
+      run_connection_range(pop, arm, opts, begin, end, shard,
+                           arena ? &*arena : nullptr);
+      folder.submit(c, std::move(shard));
     }
   };
 
@@ -503,8 +593,6 @@ ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,
   pool.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& th : pool) th.join();
-
-  for (auto& shard : shards) result.merge(std::move(shard));
   return result;
 }
 
@@ -543,7 +631,7 @@ ReplayResult Experiment::replay(const ArmConfig& arm,
   ConnectionOutcome outcome =
       run_one_connection(pop_, arm, opts, record.connection_id,
                          /*force_check=*/true, /*result=*/nullptr,
-                         /*shared_recorder=*/nullptr);
+                         /*shared_recorder=*/nullptr, /*arena=*/nullptr);
   replay.violations = std::move(outcome.violations);
   replay.exception = std::move(outcome.exception);
   replay.aborted = outcome.aborted;

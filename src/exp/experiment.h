@@ -190,6 +190,13 @@ struct ArmResult {
 
 struct RunOptions {
   int connections = 2000;
+  // First connection id: the run covers ids [first_connection,
+  // first_connection + connections). Every connection's sample path
+  // derives from (seed, id) alone, so running a population as disjoint
+  // id-ranges — in one process or across several (the fork-per-shard
+  // bench mode) — and summing the per-range aggregates in ascending-id
+  // order reproduces the single-run aggregates exactly.
+  uint64_t first_connection = 0;
   uint64_t seed = 42;
   // Wall-clock cap per connection (simulated time).
   sim::Time per_connection_limit = sim::Time::seconds(600);
@@ -200,6 +207,27 @@ struct RunOptions {
   // workers share nothing, and shard accumulators are merged back in
   // connection-id order.
   int threads = 1;
+
+  // --- million-connection sweeps ---
+  // Keep only counters and log2 histograms in the latency/recovery
+  // aggregates, discarding the per-response and per-event sample
+  // vectors: memory per arm becomes O(1) instead of O(connections).
+  // Every fraction_* statistic and count() is maintained identically in
+  // both modes; exact-sample quantiles degrade to histogram
+  // approximations (stats::LatencyTracker/RecoveryLog docs). Off by
+  // default so existing consumers of the raw vectors are unaffected.
+  bool bounded_stats = false;
+  // Reorder window, in chunks, for the streaming shard fold (how far a
+  // worker may run ahead of the fold frontier). Live shard memory is
+  // O(fold_window + threads) regardless of connection count. 0 = auto
+  // (2 * threads).
+  uint64_t fold_window = 0;
+  // Recycle one Simulator/Connection/ServerApp arena per worker across
+  // connections (the reset() protocol) instead of constructing fresh
+  // objects per connection. Behavior-identical — "fresh == reset by
+  // construction", enforced by digest tests — and roughly halves serial
+  // sweep cost; on by default.
+  bool pool_connections = true;
 
   // Attach a tcp::InvariantChecker to every connection and quarantine
   // the ones that trip it. Off by default: the stationary experiment hot

@@ -1,0 +1,97 @@
+// Bounded in-order shard folding for parallel sweeps.
+//
+// The original parallel harness materialised every chunk's ArmResult
+// shard in a vector and merged after a full barrier — O(num_chunks)
+// live shards, which at million-connection scale dwarfs the per-chunk
+// work. A StreamFolder keeps the byte-identical-at-any-thread-count
+// guarantee (shards are still folded in ascending chunk order — the
+// serial aggregation order, bit for bit) while holding only a small
+// reorder window of shards alive:
+//
+//   - claim() hands out chunk indices in order, but refuses to let a
+//     worker run more than `window` chunks ahead of the fold frontier
+//     (the claim gate). A gated worker blocks until the frontier
+//     advances.
+//   - submit() parks an out-of-order shard in the pending map and folds
+//     every consecutive shard at the frontier, then wakes gated workers.
+//
+// Deadlock-freedom: the worker holding the frontier chunk is by
+// construction past its claim gate (it already claimed), so it always
+// runs to submission and advances the frontier. Live shards are bounded
+// by `window` pending plus one in flight per worker, independent of
+// num_chunks — the constant-memory half of the streaming sweep.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace prr::exp {
+
+template <typename Shard, typename Fold>
+class StreamFolder {
+ public:
+  // `fold` is invoked with each shard, in ascending chunk order, under
+  // the folder's lock (folds are serialized; merge cost is assumed small
+  // next to running a chunk). `window` must be >= 1.
+  StreamFolder(uint64_t num_chunks, uint64_t window, Fold fold)
+      : num_chunks_(num_chunks),
+        window_(window < 1 ? 1 : window),
+        fold_(std::move(fold)) {}
+
+  // Claims the next chunk to run. Blocks while every unclaimed chunk is
+  // beyond the reorder window. Returns false once all chunks are claimed.
+  bool claim(uint64_t& chunk) {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] {
+      return next_claim_ >= num_chunks_ ||
+             next_claim_ < next_fold_ + window_;
+    });
+    if (next_claim_ >= num_chunks_) return false;
+    chunk = next_claim_++;
+    return true;
+  }
+
+  // Hands a finished shard back. Folds it (and any parked successors)
+  // immediately if it sits at the frontier; parks it otherwise.
+  void submit(uint64_t chunk, Shard&& shard) {
+    std::lock_guard lk(mu_);
+    pending_.emplace(chunk, std::move(shard));
+    if (pending_.size() > max_pending_) max_pending_ = pending_.size();
+    while (!pending_.empty() && pending_.begin()->first == next_fold_) {
+      Shard ready = std::move(pending_.begin()->second);
+      pending_.erase(pending_.begin());
+      fold_(std::move(ready));
+      ++next_fold_;
+    }
+    cv_.notify_all();
+  }
+
+  // Shards folded so far (== num_chunks after all workers join).
+  uint64_t folded() const {
+    std::lock_guard lk(mu_);
+    return next_fold_;
+  }
+
+  // High-water mark of parked shards — the memory bound under test.
+  std::size_t max_pending() const {
+    std::lock_guard lk(mu_);
+    return max_pending_;
+  }
+
+ private:
+  const uint64_t num_chunks_;
+  const uint64_t window_;
+  Fold fold_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_claim_ = 0;  // next chunk index to hand out
+  uint64_t next_fold_ = 0;   // fold frontier: all chunks below are folded
+  std::map<uint64_t, Shard> pending_;
+  std::size_t max_pending_ = 0;
+};
+
+}  // namespace prr::exp

@@ -16,23 +16,65 @@ ServerApp::ServerApp(sim::Simulator& sim, tcp::Connection& conn,
   path_rtt_ms_ = (conn.config().path.data_link.propagation_delay +
                   conn.config().path.ack_link.propagation_delay)
                      .ms_d();
-  // Chain onto any hooks already installed (e.g. a trace).
-  auto prev_tx = conn_.sender().on_transmit_hook;
-  conn_.sender().on_transmit_hook = [this, prev_tx](uint64_t seq,
-                                                    uint32_t len, bool r) {
-    if (prev_tx) prev_tx(seq, len, r);
-    on_transmit(seq, len, r);
-  };
-  auto prev_una = conn_.sender().on_una_advance_hook;
-  conn_.sender().on_una_advance_hook = [this, prev_una](uint64_t una) {
-    if (prev_una) prev_una(una);
-    on_una(una);
-  };
-  auto prev_abort = conn_.sender().on_abort_hook;
-  conn_.sender().on_abort_hook = [this, prev_abort] {
-    if (prev_abort) prev_abort();
-    on_abort();
-  };
+  wire_hooks();
+}
+
+void ServerApp::wire_hooks() {
+  // Chain onto any hooks already installed (e.g. a trace). A chaining
+  // closure captures this + a std::function and exceeds the inline
+  // buffer, so it heap-allocates on assignment; in the pooled sweep
+  // Sender::reset has just cleared every hook, and the bare this-only
+  // closures below stay inline — keeping the warm reset allocation-free.
+  auto& tx = conn_.sender().on_transmit_hook;
+  if (tx) {
+    tx = [this, prev = std::move(tx)](uint64_t seq, uint32_t len, bool r) {
+      prev(seq, len, r);
+      on_transmit(seq, len, r);
+    };
+  } else {
+    tx = [this](uint64_t seq, uint32_t len, bool r) {
+      on_transmit(seq, len, r);
+    };
+  }
+  auto& una = conn_.sender().on_una_advance_hook;
+  if (una) {
+    una = [this, prev = std::move(una)](uint64_t u) {
+      prev(u);
+      on_una(u);
+    };
+  } else {
+    una = [this](uint64_t u) { on_una(u); };
+  }
+  auto& abort = conn_.sender().on_abort_hook;
+  if (abort) {
+    abort = [this, prev = std::move(abort)] {
+      prev();
+      on_abort();
+    };
+  } else {
+    abort = [this] { on_abort(); };
+  }
+}
+
+void ServerApp::reset(const std::vector<ResponseSpec>& responses,
+                      stats::LatencyTracker* latency) {
+  responses_ = responses;  // copy-assign: the spec vector keeps capacity
+  latency_ = latency;
+  path_rtt_ms_ = (conn_.config().path.data_link.propagation_delay +
+                  conn_.config().path.ack_link.propagation_delay)
+                     .ms_d();
+  next_ = 0;
+  completed_ = 0;
+  finished_ = false;
+  active_ = false;
+  cur_start_ = 0;
+  cur_end_ = 0;
+  cur_written_ = 0;
+  cur_record_ = stats::ResponseRecord{};
+  first_byte_seen_ = false;
+  chunk_timer_.stop();  // stale after Simulator::reset; stop() clears it
+  on_finished = nullptr;
+  wire_hooks();
 }
 
 void ServerApp::start() {

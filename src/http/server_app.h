@@ -42,12 +42,22 @@ class ServerApp {
             std::vector<ResponseSpec> responses,
             stats::LatencyTracker* latency = nullptr);
 
+  // Pool-recycle: rewinds the app for the next connection on the same
+  // (recycled) Connection. Copy-assigns the response list so the spec
+  // vector's capacity is reused, and re-chains the sender hooks exactly
+  // as the constructor does — so it must be called at the same point in
+  // the per-connection wiring order (after checker/watchdog hooks are
+  // installed on the freshly reset sender).
+  void reset(const std::vector<ResponseSpec>& responses,
+             stats::LatencyTracker* latency);
+
   void start();
   bool finished() const { return finished_; }
   std::size_t responses_completed() const { return completed_; }
   std::function<void()> on_finished;
 
  private:
+  void wire_hooks();
   void begin_response(std::size_t idx);
   void write_chunk();
   void on_transmit(uint64_t seq, uint32_t len, bool retx);

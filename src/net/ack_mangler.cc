@@ -20,6 +20,27 @@ AckMangler::AckMangler(sim::Simulator& sim, Config config, sim::Rng rng,
   }
 }
 
+void AckMangler::reset(Config config, sim::Rng rng) {
+  config_ = config;
+  rng_ = rng;
+  if (config_.misbehavior.any_active()) {
+    // Same fork discipline as the constructor, so a recycled mangler's
+    // draw sequence matches a fresh one's exactly.
+    misbehaver_ = std::make_unique<AckMisbehaver>(
+        sim_, config_.misbehavior, rng.fork(0xBAD),
+        [this](Segment&& s) { impair(std::move(s)); });
+  } else {
+    misbehaver_.reset();
+  }
+  flush_timer_.stop();  // stale after Simulator::reset; stop() clears it
+  held_.reset();
+  held_count_ = 0;
+  acks_seen_ = 0;
+  acks_forwarded_ = 0;
+  acks_dropped_ = 0;
+  acks_coalesced_ = 0;
+}
+
 void AckMangler::on_ack(Segment&& ack) {
   ++acks_seen_;
   if (misbehaver_) {

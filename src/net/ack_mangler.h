@@ -39,6 +39,12 @@ class AckMangler {
   AckMangler(sim::Simulator& sim, Config config, sim::Rng rng,
              ForwardFn forward);
 
+  // Pool-recycle: returns the mangler to a freshly-constructed state for
+  // a new (config, rng) pair, keeping the forward callback. Precondition:
+  // the owning Simulator has been reset. Allocates only when the new
+  // config enables misbehavior (the misbehaver is recreated).
+  void reset(Config config, sim::Rng rng);
+
   void on_ack(Segment&& ack);
 
   uint64_t acks_seen() const { return acks_seen_; }

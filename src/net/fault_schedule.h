@@ -80,6 +80,7 @@ class FaultSchedule {
   FaultSchedule() = default;
 
   void add(FaultEvent e);
+  void clear() { events_.clear(); }  // keeps capacity (pool recycle)
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }
   const std::vector<FaultEvent>& events() const { return events_; }

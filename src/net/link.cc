@@ -12,6 +12,24 @@ Link::Link(sim::Simulator& sim, Config config, DeliverFn deliver)
       loss_(std::make_unique<NoLoss>()),
       reorder_(std::make_unique<NoReorder>()) {}
 
+void Link::reset(Config config) {
+  config_ = config;
+  if (models_customized_) {
+    loss_ = std::make_unique<NoLoss>();
+    reorder_ = std::make_unique<NoReorder>();
+    models_customized_ = false;
+  }
+  queue_.clear();
+  serializing_ = Segment{};
+  // Every flight slot is dead (the simulator reset dropped their delivery
+  // events); return them all to the free list, keeping pool capacity.
+  flight_free_.clear();
+  for (uint32_t i = 0; i < flight_.size(); ++i) flight_free_.push_back(i);
+  busy_ = false;
+  blackout_ = false;
+  stats_ = {};
+}
+
 void Link::send(Segment&& seg) {
   if (config_.ecn_mark_threshold > 0 && seg.ect &&
       queue_depth() >= config_.ecn_mark_threshold) {

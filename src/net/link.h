@@ -57,9 +57,21 @@ class Link {
 
   Link(sim::Simulator& sim, Config config, DeliverFn deliver);
 
-  void set_loss_model(std::unique_ptr<LossModel> m) { loss_ = std::move(m); }
+  // Pool-recycle: returns the link to a freshly-constructed state under a
+  // new config while keeping queue/flight-pool capacity and the delivery
+  // callback. Precondition: the owning Simulator has been reset (no
+  // serialization/propagation events are pending). Custom loss/reorder
+  // models are replaced with the defaults; the common no-model case
+  // allocates nothing.
+  void reset(Config config);
+
+  void set_loss_model(std::unique_ptr<LossModel> m) {
+    loss_ = std::move(m);
+    models_customized_ = true;
+  }
   void set_reorder_model(std::unique_ptr<ReorderModel> m) {
     reorder_ = std::move(m);
+    models_customized_ = true;
   }
 
   // Enqueues a segment for transmission; drops it if the queue is full.
@@ -111,6 +123,7 @@ class Link {
   std::vector<uint32_t> flight_free_;
   bool busy_ = false;
   bool blackout_ = false;
+  bool models_customized_ = false;
   LinkStats stats_;
 };
 

@@ -32,6 +32,20 @@ Path::Path(sim::Simulator& sim, Config config, sim::Rng rng) : sim_(sim) {
       [this](Segment&& s) { ack_link_->send(std::move(s)); });
 }
 
+void Path::reset(Config config, sim::Rng rng) {
+  data_link_->reset(config.data_link);
+  ack_link_->reset(config.ack_link);
+  // Same fork stream id as the constructor so recycled draw sequences
+  // match fresh ones.
+  ack_mangler_->reset(config.ack_mangler, rng.fork(0x41434b));
+  wire_tap = nullptr;
+  recorder_ = nullptr;
+  trace_conn_id_ = 0;
+  client_dead_ = false;
+  ack_stalled_ = false;
+  stalled_ack_.reset();
+}
+
 void Path::send_data(Segment&& seg) {
 #if PRR_TRACE_ENABLED
   if (recorder_ != nullptr) {

@@ -33,6 +33,14 @@ class Path {
 
   Path(sim::Simulator& sim, Config config, sim::Rng rng);
 
+  // Pool-recycle: returns the path (both links + mangler) to a freshly-
+  // constructed state for a new (config, rng) pair. The data/ACK sinks
+  // installed by the owning Connection are kept — they capture the
+  // Connection, whose address is stable across recycling — but the wire
+  // tap and recorder are cleared like any other per-connection wiring.
+  // Precondition: the owning Simulator has been reset.
+  void reset(Config config, sim::Rng rng);
+
   // Optional wire tap: sees every data segment and every ACK at the
   // moment it enters the network (before loss/queueing). Used by the
   // pcap writer. For trace records prefer set_recorder — the recorder

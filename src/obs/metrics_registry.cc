@@ -6,61 +6,6 @@
 
 namespace prr::obs {
 
-uint64_t LogHistogram::approx_quantile(double q) const {
-  if (count_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  const uint64_t rank =
-      static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
-  uint64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b];
-    if (seen >= rank) {
-      // Upper edge of bucket b, clamped to the observed max.
-      const uint64_t edge =
-          b >= 64 ? max_ : (uint64_t{1} << b) - 1;
-      return std::min(edge, max_);
-    }
-  }
-  return max_;
-}
-
-double LogHistogram::quantile(double q) const {
-  if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  // Same rank convention as approx_quantile, then spread the bucket's
-  // occupants evenly across its value range and pick the rank's spot.
-  const uint64_t rank =
-      static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
-  uint64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    if (buckets_[b] == 0) continue;
-    if (seen + buckets_[b] >= rank) {
-      const double lo = static_cast<double>(bucket_floor(b));
-      const double hi = b >= 64 ? static_cast<double>(max_)
-                                : static_cast<double>((uint64_t{1} << b) - 1);
-      const double within =
-          buckets_[b] == 1
-              ? 0.0
-              : static_cast<double>(rank - seen - 1) /
-                    static_cast<double>(buckets_[b] - 1);
-      const double v = lo + (hi - lo) * within;
-      return std::clamp(v, static_cast<double>(min_),
-                        static_cast<double>(max_));
-    }
-    seen += buckets_[b];
-  }
-  return static_cast<double>(max_);
-}
-
-void LogHistogram::merge(const LogHistogram& other) {
-  if (other.count_ == 0) return;
-  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
-  if (other.max_ > max_) max_ = other.max_;
-  count_ += other.count_;
-  sum_ += other.sum_;
-  for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
-}
-
 Counter* MetricsRegistry::counter(const std::string& name) {
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();

@@ -14,6 +14,8 @@
 #include <memory>
 #include <string>
 
+#include "util/log2_hist.h"
+
 namespace prr::obs {
 
 class Counter {
@@ -37,66 +39,10 @@ class Gauge {
   int64_t value_ = 0;
 };
 
-// Histogram over log2 buckets: a sample v lands in bucket bit_width(v)
-// (bucket 0 holds v == 0), i.e. bucket b spans [2^(b-1), 2^b). Record
-// is a handful of arithmetic ops — no allocation, no search — which is
-// what lets per-ACK cost and event-slice timings feed it from the hot
-// path. Covers the full uint64 range in 65 buckets.
-class LogHistogram {
- public:
-  static constexpr int kBuckets = 65;
-
-  void record(uint64_t v) {
-    ++buckets_[bucket_of(v)];
-    ++count_;
-    sum_ += v;
-    if (count_ == 1 || v < min_) min_ = v;
-    if (v > max_) max_ = v;
-  }
-
-  static int bucket_of(uint64_t v) {
-    int b = 0;
-    while (v != 0) {
-      ++b;
-      v >>= 1;
-    }
-    return b;
-  }
-  // Inclusive lower edge of bucket b.
-  static uint64_t bucket_floor(int b) {
-    return b == 0 ? 0 : uint64_t{1} << (b - 1);
-  }
-
-  uint64_t count() const { return count_; }
-  uint64_t sum() const { return sum_; }
-  uint64_t min() const { return min_; }
-  uint64_t max() const { return max_; }
-  uint64_t bucket(int b) const { return buckets_[b]; }
-  double mean() const {
-    return count_ == 0 ? 0.0
-                       : static_cast<double>(sum_) / static_cast<double>(count_);
-  }
-  // Upper edge of the bucket containing the q-quantile (q in [0,1]) —
-  // log2 resolution, good enough for "p99 is ~2-4us" statements.
-  uint64_t approx_quantile(double q) const;
-  // q-quantile with linear interpolation across the ranks inside the
-  // containing bucket, clamped to the observed [min, max]. Still log2
-  // resolution between buckets, but smooth within one — the form the
-  // episode tables and registry JSON report.
-  double quantile(double q) const;
-  double p50() const { return quantile(0.50); }
-  double p95() const { return quantile(0.95); }
-  double p99() const { return quantile(0.99); }
-
-  void merge(const LogHistogram& other);
-
- private:
-  uint64_t buckets_[kBuckets] = {};
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t min_ = 0;
-  uint64_t max_ = 0;
-};
+// Histogram over log2 buckets. The implementation lives in
+// util::Log2Histogram so layers below obs (stats' bounded mode) can use
+// the same fold; this alias keeps the obs-facing name and API stable.
+using LogHistogram = util::Log2Histogram;
 
 class MetricsRegistry {
  public:

@@ -8,14 +8,54 @@ namespace prr::sim {
 
 namespace {
 
-// Min-heap on (at, seq): std::push_heap builds a max-heap under the
-// comparator, so "greater" ordering keeps the earliest entry on top.
-constexpr auto later = [](const auto& a, const auto& b) {
-  if (a.at != b.at) return a.at > b.at;
-  return a.seq > b.seq;
+constexpr auto earlier = [](const auto& a, const auto& b) {
+  if (a.at != b.at) return a.at < b.at;
+  return a.seq < b.seq;
 };
 
 }  // namespace
+
+void EventQueue::sift_up(std::size_t i) const {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first = i * 4 + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::pop_head() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::rebuild_heap() const {
+  if (heap_.size() < 2) return;
+  for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) {
+    sift_down(i);
+  }
+}
 
 EventQueue::Slot* EventQueue::live_slot(EventId id) {
   const uint32_t index = id_index(id);
@@ -46,11 +86,10 @@ void EventQueue::push_entry(Time at, uint32_t slot, uint32_t gen) {
     std::erase_if(heap_, [this](const HeapEntry& e) {
       return entry_stale(e);
     });
-    std::make_heap(heap_.begin(), heap_.end(), later);
+    rebuild_heap();
   }
   heap_.push_back(HeapEntry{at, next_seq_++, slot, gen});
-  std::push_heap(heap_.begin(), heap_.end(),
-                 later);
+  sift_up(heap_.size() - 1);
 }
 
 EventId EventQueue::schedule(Time at, EventCallback fn) {
@@ -88,11 +127,24 @@ void EventQueue::cancel(EventId id) {
   if (live_ == 0) heap_.clear();
 }
 
+void EventQueue::clear() {
+  for (uint32_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (!s.live) continue;
+    s.fn.reset();
+    s.live = false;
+    bump_gen(s);
+    s.next_free = free_head_;
+    free_head_ = i;
+  }
+  heap_.clear();
+  live_ = 0;
+  next_seq_ = 1;
+}
+
 void EventQueue::drop_stale_head() const {
   while (!heap_.empty() && entry_stale(heap_.front())) {
-    std::pop_heap(heap_.begin(), heap_.end(),
-                  later);
-    heap_.pop_back();
+    pop_head();
   }
 }
 
@@ -105,9 +157,7 @@ Time EventQueue::run_next() {
   drop_stale_head();
   assert(!heap_.empty());
   const HeapEntry head = heap_.front();
-  std::pop_heap(heap_.begin(), heap_.end(),
-                later);
-  heap_.pop_back();
+  pop_head();
 
   Slot& s = slots_[head.slot];
   // Move the callback out before releasing the slot: the callback may

@@ -18,26 +18,16 @@ Rng Rng::fork(uint64_t stream) const {
   return Rng(splitmix64(seed_ ^ splitmix64(stream)));
 }
 
-double Rng::uniform() {
-  return std::uniform_real_distribution<double>(0.0, 1.0)(engine());
-}
-
-double Rng::uniform(double lo, double hi) {
-  return std::uniform_real_distribution<double>(lo, hi)(engine());
-}
-
 uint64_t Rng::uniform_int(uint64_t lo, uint64_t hi) {
   return std::uniform_int_distribution<uint64_t>(lo, hi)(engine());
 }
 
-bool Rng::bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return std::bernoulli_distribution(p)(engine());
-}
-
 double Rng::exponential(double mean) {
-  return std::exponential_distribution<double>(1.0 / mean)(engine());
+  // std::exponential_distribution(1.0 / mean) verbatim: the library
+  // divides by the (rounded) lambda rather than multiplying by the mean,
+  // and the replica must round identically.
+  const double lambda = 1.0 / mean;
+  return -std::log(1.0 - canonical()) / lambda;
 }
 
 double Rng::lognormal(double mu, double sigma) {

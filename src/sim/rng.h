@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <random>
 
@@ -69,10 +70,26 @@ class Rng {
 
   uint64_t seed() const { return seed_; }
 
-  double uniform();                         // [0, 1)
-  double uniform(double lo, double hi);     // [lo, hi)
+  // The three distributions on the per-segment hot path (loss, reorder
+  // and ACK-impairment draws) are open-coded bit-exact replicas of the
+  // libstdc++ formulas — same engine advance, same arithmetic, same
+  // rounding — so they inline to a twist plus a few flops instead of a
+  // distribution-object construction per draw. Equivalence with the std
+  // distributions is pinned by a unit test and the serial digest goldens.
+  double uniform() { return canonical(); }  // [0, 1)
+  double uniform(double lo, double hi) {    // [lo, hi)
+    return canonical() * (hi - lo) + lo;
+  }
   uint64_t uniform_int(uint64_t lo, uint64_t hi);  // inclusive
-  bool bernoulli(double p);
+  // Degenerate p consumes NO engine draw — the early-outs predate the
+  // golden digests, so their draw-skipping is part of the frozen stream
+  // behavior. For 0 < p < 1 this is bit-exact with
+  // std::bernoulli_distribution on the same engine.
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return canonical() < p;
+  }
   double exponential(double mean);
   double lognormal(double mu, double sigma);
   // Lognormal parameterized by the distribution mean and sigma of the
@@ -91,6 +108,18 @@ class Rng {
   Mt64& engine() {
     if (!engine_) engine_.emplace(seed_);
     return *engine_;
+  }
+
+  // generate_canonical<double, 53>(Mt64) verbatim: for a full-range
+  // 64-bit engine it reduces to one draw rounded to double and scaled by
+  // 2^-64 (an exact exponent shift, identical to the library's division
+  // by 2^64), clamped below 1.0 exactly as the library clamps.
+  double canonical() {
+    const double ret = static_cast<double>(engine()()) * 0x1p-64;
+    if (ret >= 1.0) [[unlikely]] {
+      return 1.0 - std::numeric_limits<double>::epsilon() / 2.0;
+    }
+    return ret;
   }
 
   uint64_t seed_ = 0;

@@ -27,11 +27,20 @@ Time Simulator::run(Time deadline) {
   return now_;
 }
 
+void Simulator::reset() {
+  now_ = Time::zero();
+  queue_.clear();
+  events_processed_ = 0;
+  slice_profiler_ = nullptr;
+}
+
 bool Simulator::step(Time deadline) {
-  if (queue_.empty() || queue_.next_time() > deadline) return false;
+  if (queue_.empty()) return false;
+  const Time next = queue_.next_time();
+  if (next > deadline) return false;
   // Advance the clock before dispatching so callbacks see now() == their
   // scheduled time (nested schedule_in must be relative to it).
-  now_ = queue_.next_time();
+  now_ = next;
   if (slice_profiler_) {
     const auto t0 = std::chrono::steady_clock::now();
     queue_.run_next();

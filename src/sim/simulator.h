@@ -37,6 +37,13 @@ class Simulator {
   bool idle() const { return queue_.empty(); }
   uint64_t events_processed() const { return events_processed_; }
 
+  // Returns the simulator to its freshly-constructed state (clock at
+  // zero, no pending events, no profiler tap) while keeping the event
+  // queue's slot/heap capacity. EventIds issued before reset() are
+  // stale afterwards and safe to cancel/reschedule (no-ops), which is
+  // what lets pooled Timers survive across connections.
+  void reset();
+
   // Self-profiling tap (obs::SelfProfiler): when set, step() wall-clock
   // times each event callback and reports the duration in nanoseconds.
   // Unset (the default), step() pays one branch and takes no clock

@@ -2,9 +2,30 @@
 
 namespace prr::stats {
 
+void LatencyTracker::add(ResponseRecord r) {
+  ++total_;
+  if (r.completed) {
+    ++completed_;
+    completed_with_retx_ += r.had_retransmit;
+    const double lat_ms = r.latency_ms();
+    latency_us_.record(
+        lat_ms <= 0 ? 0 : static_cast<uint64_t>(lat_ms * 1000.0));
+    const double rtts = r.rtts_taken();
+    rtts_milli_.record(
+        rtts <= 0 ? 0 : static_cast<uint64_t>(rtts * 1000.0));
+  }
+  if (!bounded_) responses_.push_back(r);
+}
+
 void LatencyTracker::append(const LatencyTracker& other) {
-  responses_.insert(responses_.end(), other.responses_.begin(),
-                    other.responses_.end());
+  total_ += other.total_;
+  completed_ += other.completed_;
+  completed_with_retx_ += other.completed_with_retx_;
+  latency_us_.merge(other.latency_us_);
+  rtts_milli_.merge(other.rtts_milli_);
+  if (!bounded_)
+    responses_.insert(responses_.end(), other.responses_.begin(),
+                      other.responses_.end());
 }
 
 util::Samples LatencyTracker::latency_ms(Filter f, uint64_t min_bytes,
@@ -32,14 +53,11 @@ util::Samples LatencyTracker::rtts_taken(Filter f) const {
 }
 
 double LatencyTracker::fraction_with_retransmit() const {
-  if (responses_.empty()) return 0;
-  std::size_t n = 0, denom = 0;
-  for (const auto& r : responses_) {
-    if (!r.completed) continue;
-    ++denom;
-    n += r.had_retransmit;
-  }
-  return denom == 0 ? 0 : static_cast<double>(n) / static_cast<double>(denom);
+  // Counter-based so the answer is identical in bounded and unbounded
+  // modes (the counters count exactly what the vector loop counted).
+  return completed_ == 0 ? 0
+                         : static_cast<double>(completed_with_retx_) /
+                               static_cast<double>(completed_);
 }
 
 }  // namespace prr::stats

@@ -2,10 +2,6 @@
 
 namespace prr::stats {
 
-void RecoveryLog::append(const RecoveryLog& other) {
-  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
-}
-
 namespace {
 // The paper's Table 5 works in whole segments; compare pipe and ssthresh
 // in segment units so "equal" means within the same segment count.
@@ -17,25 +13,54 @@ int seg_diff(const RecoveryEvent& e) {
 }
 }  // namespace
 
+void RecoveryLog::add(RecoveryEvent e) {
+  ++total_;
+  const int d = seg_diff(e);
+  below_ += d < 0;
+  equal_ += d == 0;
+  above_ += d > 0;
+  if (e.completed) {
+    ++completed_;
+    slow_start_after_ += e.slow_start_after;
+  }
+  timeout_ += e.interrupted_by_timeout;
+  const double dur_ms = e.duration().ms_d();
+  duration_us_.record(dur_ms <= 0 ? 0
+                                  : static_cast<uint64_t>(dur_ms * 1000.0));
+  burst_.record(e.max_burst_segments);
+  if (!bounded_) events_.push_back(e);
+}
+
+void RecoveryLog::append(const RecoveryLog& other) {
+  total_ += other.total_;
+  below_ += other.below_;
+  equal_ += other.equal_;
+  above_ += other.above_;
+  completed_ += other.completed_;
+  slow_start_after_ += other.slow_start_after_;
+  timeout_ += other.timeout_;
+  duration_us_.merge(other.duration_us_);
+  burst_.merge(other.burst_);
+  if (!bounded_)
+    events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
 double RecoveryLog::fraction_start_below_ssthresh() const {
-  if (events_.empty()) return 0;
-  std::size_t n = 0;
-  for (const auto& e : events_) n += seg_diff(e) < 0;
-  return static_cast<double>(n) / static_cast<double>(events_.size());
+  return total_ == 0 ? 0
+                     : static_cast<double>(below_) /
+                           static_cast<double>(total_);
 }
 
 double RecoveryLog::fraction_start_equal_ssthresh() const {
-  if (events_.empty()) return 0;
-  std::size_t n = 0;
-  for (const auto& e : events_) n += seg_diff(e) == 0;
-  return static_cast<double>(n) / static_cast<double>(events_.size());
+  return total_ == 0 ? 0
+                     : static_cast<double>(equal_) /
+                           static_cast<double>(total_);
 }
 
 double RecoveryLog::fraction_start_above_ssthresh() const {
-  if (events_.empty()) return 0;
-  std::size_t n = 0;
-  for (const auto& e : events_) n += seg_diff(e) > 0;
-  return static_cast<double>(n) / static_cast<double>(events_.size());
+  return total_ == 0 ? 0
+                     : static_cast<double>(above_) /
+                           static_cast<double>(total_);
 }
 
 util::Samples RecoveryLog::pipe_minus_ssthresh_segs() const {
@@ -72,21 +97,15 @@ util::Samples RecoveryLog::burst_sizes() const {
 }
 
 double RecoveryLog::fraction_slow_start_after() const {
-  if (events_.empty()) return 0;
-  std::size_t n = 0, denom = 0;
-  for (const auto& e : events_) {
-    if (!e.completed) continue;
-    ++denom;
-    n += e.slow_start_after;
-  }
-  return denom == 0 ? 0 : static_cast<double>(n) / static_cast<double>(denom);
+  return completed_ == 0 ? 0
+                         : static_cast<double>(slow_start_after_) /
+                               static_cast<double>(completed_);
 }
 
 double RecoveryLog::fraction_with_timeout() const {
-  if (events_.empty()) return 0;
-  std::size_t n = 0;
-  for (const auto& e : events_) n += e.interrupted_by_timeout;
-  return static_cast<double>(n) / static_cast<double>(events_.size());
+  return total_ == 0 ? 0
+                     : static_cast<double>(timeout_) /
+                           static_cast<double>(total_);
 }
 
 }  // namespace prr::stats

@@ -1,11 +1,18 @@
 // Per-recovery-event instrumentation: everything Tables 5, 6, 7, Fig 5 and
 // Table 10 need. The sender appends one record per fast-recovery episode.
+//
+// Like LatencyTracker, the log has an unbounded mode (every event kept,
+// exact quantiles) and a bounded mode for streaming sweeps (counters +
+// log2 histograms only, O(1) memory per arm). The classification
+// counters are maintained in both modes, so count() and the fraction_*
+// accessors report identical values either way.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "sim/time.h"
+#include "util/log2_hist.h"
 #include "util/quantiles.h"
 
 namespace prr::stats {
@@ -45,20 +52,32 @@ struct RecoveryEvent {
 
 class RecoveryLog {
  public:
-  void add(RecoveryEvent e) { events_.push_back(e); }
+  void add(RecoveryEvent e);
   void append(const RecoveryLog& other);
   // Deterministic shard merge: callers merge shards in connection-id
   // order, so the concatenated event list is byte-identical to a serial
   // run (events within a shard are already in emission order).
   void merge(const RecoveryLog& other) { append(other); }
   const std::vector<RecoveryEvent>& events() const { return events_; }
-  std::size_t count() const { return events_.size(); }
+  // Total events observed in either mode (== events().size() when
+  // unbounded).
+  std::size_t count() const { return total_; }
+
+  // Switches to bounded (counters + histograms) storage. Only valid
+  // before the first add().
+  void set_bounded(bool bounded) { bounded_ = bounded; }
+  bool bounded() const { return bounded_; }
+
+  // Bounded-mode distributions (populated in both modes).
+  const util::Log2Histogram& duration_us_hist() const { return duration_us_; }
+  const util::Log2Histogram& burst_hist() const { return burst_; }
 
   // Table 5: fraction of events starting in each PRR mode.
   double fraction_start_below_ssthresh() const;   // pipe < ssthresh
   double fraction_start_equal_ssthresh() const;
   double fraction_start_above_ssthresh() const;   // pipe > ssthresh
 
+  // Exact-sample views; empty in bounded mode (use the histograms).
   util::Samples pipe_minus_ssthresh_segs() const;       // Table 5 quantiles
   util::Samples cwnd_minus_ssthresh_exit_segs() const;  // Table 6
   util::Samples cwnd_after_exit_segs() const;           // Table 7
@@ -70,6 +89,16 @@ class RecoveryLog {
 
  private:
   std::vector<RecoveryEvent> events_;
+  bool bounded_ = false;
+  uint64_t total_ = 0;
+  uint64_t below_ = 0;
+  uint64_t equal_ = 0;
+  uint64_t above_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t slow_start_after_ = 0;
+  uint64_t timeout_ = 0;
+  util::Log2Histogram duration_us_;
+  util::Log2Histogram burst_;
 };
 
 }  // namespace prr::stats

@@ -38,4 +38,12 @@ std::unique_ptr<CongestionControl> make_congestion_control(
     CcKind kind, uint32_t mss, double gaimd_alpha = 1.0,
     double gaimd_beta = 0.5);
 
+// Pool-recycle support: rewinds `cc` in place to exactly the state
+// make_congestion_control(kind, mss, gaimd_alpha, gaimd_beta) would
+// construct, with no allocation. Returns false when `cc` is not an
+// instance of `kind` — the caller then recreates via the factory.
+bool reset_congestion_control(CongestionControl& cc, CcKind kind,
+                              uint32_t mss, double gaimd_alpha = 1.0,
+                              double gaimd_beta = 0.5);
+
 }  // namespace prr::tcp

@@ -43,4 +43,39 @@ std::unique_ptr<CongestionControl> make_congestion_control(
   return nullptr;
 }
 
+bool reset_congestion_control(CongestionControl& cc, CcKind kind,
+                              uint32_t mss, double gaimd_alpha,
+                              double gaimd_beta) {
+  // Copy-assignment from a freshly constructed instance is the poison-
+  // proof definition of "reset": the recycled object is byte-for-byte
+  // what the factory would have produced.
+  switch (kind) {
+    case CcKind::kNewReno:
+      if (auto* p = dynamic_cast<NewReno*>(&cc)) {
+        *p = NewReno(mss);
+        return true;
+      }
+      return false;
+    case CcKind::kCubic:
+      if (auto* p = dynamic_cast<Cubic*>(&cc)) {
+        *p = Cubic(mss);
+        return true;
+      }
+      return false;
+    case CcKind::kGaimd:
+      if (auto* p = dynamic_cast<Gaimd*>(&cc)) {
+        *p = Gaimd(mss, gaimd_alpha, gaimd_beta);
+        return true;
+      }
+      return false;
+    case CcKind::kBinomial:
+      if (auto* p = dynamic_cast<Binomial*>(&cc)) {
+        *p = Binomial(mss);
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
 }  // namespace prr::tcp

@@ -23,4 +23,16 @@ Connection::Connection(sim::Simulator& sim, ConnectionConfig config,
   if (metrics) ++metrics->connections;
 }
 
+void Connection::reset(ConnectionConfig config, sim::Rng rng,
+                       Metrics* metrics, stats::RecoveryLog* recovery_log) {
+  config_ = config;
+  // Same sub-object order as the constructor. The data/ACK sinks and the
+  // send callbacks capture `this`/path_ which are stable across
+  // recycling, so no rewiring is needed.
+  path_->reset(config.path, rng);
+  sender_->reset(config.sender, metrics, recovery_log);
+  receiver_->reset(config.receiver);
+  if (metrics) ++metrics->connections;
+}
+
 }  // namespace prr::tcp

@@ -27,6 +27,14 @@ class Connection {
              Metrics* metrics = nullptr,
              stats::RecoveryLog* recovery_log = nullptr);
 
+  // Pool-recycle: rewires the whole connection (path, sender, receiver)
+  // to the state a fresh construction with these arguments would
+  // produce, keeping every buffer/timer/event-slot capacity. Must run
+  // after the owning Simulator was reset and before any per-connection
+  // wiring (recorder, loss models, checker, app) is attached.
+  void reset(ConnectionConfig config, sim::Rng rng, Metrics* metrics,
+             stats::RecoveryLog* recovery_log);
+
   // Application write on the server side.
   void write(uint64_t bytes) { sender_->write(bytes); }
 

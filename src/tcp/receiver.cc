@@ -17,6 +17,26 @@ Receiver::Receiver(sim::Simulator& sim, Config config, SendAckFn send_ack)
   }
 }
 
+void Receiver::reset(Config config) {
+  config_ = config;
+  delack_timer_.stop();  // stale after Simulator::reset; stop() clears
+  renege_timer_.stop();
+  rcv_nxt_ = 0;
+  ooo_.clear();
+  recency_counter_ = 0;
+  unacked_segments_ = 0;
+  ts_recent_ = 0;
+  quickack_left_ = config_.quickack_segments;
+  ece_pending_ = false;
+  segments_received_ = 0;
+  duplicate_segments_ = 0;
+  acks_sent_ = 0;
+  reneged_bytes_ = 0;
+  if (!config_.renege_at.is_zero()) {
+    renege_timer_.start(config_.renege_at - sim_.now());
+  }
+}
+
 void Receiver::renege() {
   // Memory pressure: the OOO queue is dropped wholesale. Subsequent ACKs
   // carry no SACK blocks for the discarded data, and retransmissions of

@@ -38,6 +38,11 @@ class Receiver {
 
   Receiver(sim::Simulator& sim, Config config, SendAckFn send_ack);
 
+  // Pool-recycle: returns the receiver to a freshly-constructed state
+  // under a new config, keeping the ACK callback and OOO-store capacity.
+  // Precondition: the owning Simulator has been reset (timers are stale).
+  void reset(Config config);
+
   void on_data(const net::Segment& seg);
 
   // Forces the advertised window to a value (0 stalls the sender); used

@@ -18,4 +18,29 @@ std::unique_ptr<RecoveryPolicy> make_recovery_policy(
   return nullptr;
 }
 
+bool reset_recovery_policy(RecoveryPolicy& policy, RecoveryKind kind,
+                           core::ReductionBound bound) {
+  switch (kind) {
+    case RecoveryKind::kRfc3517:
+      if (auto* p = dynamic_cast<Rfc3517Recovery*>(&policy)) {
+        *p = Rfc3517Recovery();
+        return true;
+      }
+      return false;
+    case RecoveryKind::kLinuxRateHalving:
+      if (auto* p = dynamic_cast<RateHalvingRecovery*>(&policy)) {
+        *p = RateHalvingRecovery();
+        return true;
+      }
+      return false;
+    case RecoveryKind::kPrr:
+      if (auto* p = dynamic_cast<PrrRecovery*>(&policy)) {
+        *p = PrrRecovery(bound);
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
 }  // namespace prr::tcp

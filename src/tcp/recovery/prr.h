@@ -52,4 +52,11 @@ std::unique_ptr<RecoveryPolicy> make_recovery_policy(
     RecoveryKind kind,
     core::ReductionBound bound = core::ReductionBound::kSlowStart);
 
+// Pool-recycle support: rewinds `policy` in place to the state
+// make_recovery_policy(kind, bound) would construct, with no allocation.
+// Returns false when `policy` is not an instance of `kind`.
+bool reset_recovery_policy(RecoveryPolicy& policy, RecoveryKind kind,
+                           core::ReductionBound bound =
+                               core::ReductionBound::kSlowStart);
+
 }  // namespace prr::tcp

@@ -83,6 +83,12 @@ class Scoreboard {
   explicit Scoreboard(uint32_t mss) : mss_(mss) {}
 
   void reset(uint64_t snd_una);
+  // Pool-recycle variant: also adopts a new MSS (the next connection's
+  // config may differ). Record/ring capacity is kept.
+  void reset(uint64_t snd_una, uint32_t mss) {
+    mss_ = mss;
+    reset(snd_una);
+  }
 
   // Records a (re)transmission covering [start, end).
   void on_transmit(uint64_t start, uint64_t end, sim::Time now);

@@ -44,13 +44,100 @@ Sender::Sender(sim::Simulator& sim, SenderConfig config, SendFn send,
       tlp_timer_(sim, [this] { on_tlp_timer(); }),
       pacing_timer_(sim, [this] { try_send(); }),
       persist_timer_(sim, [this] { on_persist_timer(); }) {
+  prr_policy_ = dynamic_cast<const PrrRecovery*>(policy_.get());
+  scoreboard_.reset(0);
+  reset_core_state();
+}
+
+void Sender::reset(SenderConfig config, Metrics* metrics,
+                   stats::RecoveryLog* recovery_log) {
+  config_ = config;
+  metrics_ = metrics;
+  local_ = Metrics{};
+  recovery_log_ = recovery_log;
+  if (!reset_congestion_control(*cc_, config.cc, config.mss,
+                                config.gaimd_alpha, config.gaimd_beta)) {
+    cc_ = make_congestion_control(config.cc, config.mss, config.gaimd_alpha,
+                                  config.gaimd_beta);
+  }
+  if (!reset_recovery_policy(*policy_, config.recovery, config.prr_bound)) {
+    policy_ = make_recovery_policy(config.recovery, config.prr_bound);
+  }
+  prr_policy_ = dynamic_cast<const PrrRecovery*>(policy_.get());
+  scoreboard_.reset(0, config.mss);
+  rto_est_ = RtoEstimator(config.rto);
+  // All timer EventIds are stale after Simulator::reset; stop() clears
+  // them without touching the (recycled) event queue.
+  rto_timer_.stop();
+  er_timer_.stop();
+  tlp_timer_.stop();
+  pacing_timer_.stop();
+  persist_timer_.stop();
+  // Per-connection wiring must not leak into the next connection: the
+  // hooks capture checker/watchdog/app objects that are themselves reset
+  // or destroyed between connections.
+  on_transmit_hook = nullptr;
+  on_una_advance_hook = nullptr;
+  on_ack_hook = nullptr;
+  on_post_ack_hook = nullptr;
+  on_abort_hook = nullptr;
+  on_rto_hook = nullptr;
+  on_ack_cost_hook = nullptr;
+  set_recorder(nullptr, 0);
+  reset_core_state();
+}
+
+void Sender::reset_core_state() {
+  state_ = TcpState::kOpen;
+  snd_una_ = 0;
+  snd_nxt_ = 0;
+  write_end_ = 0;
   cwnd_ = config_.initial_cwnd_bytes();
+  ssthresh_ = UINT64_MAX;
+  peer_rwnd_ = UINT64_MAX;
+  next_segment_id_ = 1;
   dupthresh_ = config_.dupthresh;
+  dupack_count_ = 0;
+  reorder_metric_segs_ = 0;
   fack_enabled_ = config_.use_fack;
+  reordering_seen_ = false;
+  cwnd_limited_ = true;
+  aborted_ = false;
+  busy_ = false;
+  in_loss_recovery_ = false;
+  last_transmit_ = sim::Time::zero();
+  busy_since_ = sim::Time::zero();
+  busy_accum_ = sim::Time::zero();
+  loss_since_ = sim::Time::zero();
+  loss_accum_ = sim::Time::zero();
+  persist_backoff_ = 0;
+  next_pace_at_ = sim::Time::zero();
+  recovery_point_ = 0;
+  recovery_via_er_ = false;
+  retransmitted_this_event_ = false;
+  prior_cwnd_ = 0;
+  prior_ssthresh_ = 0;
+  undo_valid_ = false;
+  undo_retrans_ = 0;
+  spurious_seen_ = false;
+  retx_history_.clear();
+  current_event_ = stats::RecoveryEvent{};
+  burst_in_progress_ = 0;
+  rto_head_retransmit_pending_ = false;
+  retransmits_since_progress_ = 0;
+  frto_check_pending_ = false;
+  frto_head_end_ = 0;
+  tlp_probe_outstanding_ = false;
+  cwr_active_ = false;
+  cwr_point_ = 0;
+  cwr_flag_pending_ = false;
+  cwr_prr_ = core::PrrState{};
+  prior_loss_cwnd_ = 0;
+  prior_loss_ssthresh_ = 0;
+  traced_state_ = TcpState::kOpen;
   if (!config_.handshake_rtt.is_zero()) {
     rto_est_.on_rtt_sample(config_.handshake_rtt);
   }
-  scoreboard_.reset(0);
 }
 
 // --- counter plumbing: every event bumps the per-connection counters and,
@@ -422,8 +509,7 @@ void Sender::process_ack(const net::Segment& ack) {
         static_cast<uint8_t>(state_), 0, ack.ack, cwnd_, effective_pipe(),
         ssthresh_, out.delivered_bytes(), snd_nxt_));
     if (state_ == TcpState::kRecovery) {
-      if (const auto* prr =
-              dynamic_cast<const PrrRecovery*>(policy_.get())) {
+      if (const auto* prr = prr_policy_) {
         const core::PrrState& st = prr->state();
         recorder_->write(obs::make_record(
             sim_.now(), conn_id_, obs::TraceType::kPrr,

@@ -28,6 +28,8 @@
 
 namespace prr::tcp {
 
+class PrrRecovery;
+
 enum class TcpState { kOpen, kDisorder, kRecovery, kLoss };
 
 const char* to_string(TcpState s);
@@ -143,6 +145,16 @@ class Sender {
 
   Sender(sim::Simulator& sim, SenderConfig config, SendFn send,
          Metrics* metrics, stats::RecoveryLog* recovery_log);
+
+  // Pool-recycle: returns the sender to the state a fresh construction
+  // with (config, metrics, recovery_log) would produce, keeping the send
+  // callback and all container/timer capacity. Every observer hook and
+  // the flight-recorder attachment are cleared — per-connection wiring
+  // (invariant checker, watchdog, app) captures objects that die with
+  // the connection, so stale hooks must never survive into the next one.
+  // Precondition: the owning Simulator has been reset.
+  void reset(SenderConfig config, Metrics* metrics,
+             stats::RecoveryLog* recovery_log);
 
   // ---- application interface ----
   // Appends `bytes` to the send buffer and transmits what the window
@@ -270,6 +282,11 @@ class Sender {
   void grow_cwnd_open(uint64_t acked_bytes);
   void note_transmit_state_change();
 
+  // Rewinds every per-connection value field to its fresh-construction
+  // state for the current config_. Shared by the constructor and reset()
+  // so the two paths cannot drift (fresh == recycled by construction).
+  void reset_core_state();
+
   sim::Simulator& sim_;
   SenderConfig config_;
   SendFn send_;
@@ -277,8 +294,42 @@ class Sender {
   Metrics local_;
   stats::RecoveryLog* recovery_log_;  // may be null
 
+  // ---- hot per-ACK fields ----
+  // Every scalar the common process_ack -> try_send cycle reads or
+  // writes, declared together so they share a cache-line neighborhood
+  // instead of being interleaved with cold episode bookkeeping.
+  TcpState state_ = TcpState::kOpen;
+  uint64_t snd_una_ = 0;
+  uint64_t snd_nxt_ = 0;
+  uint64_t write_end_ = 0;
+  uint64_t cwnd_ = 0;
+  uint64_t ssthresh_ = UINT64_MAX;
+  uint64_t peer_rwnd_ = UINT64_MAX;
+  // Per-sender (not global): connections must stay independent so the
+  // experiment harness can run them on worker threads deterministically.
+  uint64_t next_segment_id_ = 1;
+  int dupthresh_ = 3;
+  int dupack_count_ = 0;
+  int reorder_metric_segs_ = 0;
+  bool fack_enabled_ = true;
+  bool reordering_seen_ = false;
+  bool cwnd_limited_ = true;
+  bool aborted_ = false;
+  // Busy-time accounting (Table 10) — updated on most ACKs/transmits.
+  bool busy_ = false;
+  bool in_loss_recovery_ = false;
+  sim::Time last_transmit_ = sim::Time::zero();
+  sim::Time busy_since_ = sim::Time::zero();
+  sim::Time busy_accum_ = sim::Time::zero();
+  sim::Time loss_since_ = sim::Time::zero();
+  sim::Time loss_accum_ = sim::Time::zero();
+
   std::unique_ptr<CongestionControl> cc_;
   std::unique_ptr<RecoveryPolicy> policy_;
+  // Cached downcast of policy_ (null when the policy is not PRR): the
+  // traced per-ACK path needs the PRR internals and must not pay a
+  // dynamic_cast per ACK for them.
+  const PrrRecovery* prr_policy_ = nullptr;
   Scoreboard scoreboard_;
   RtoEstimator rto_est_;
   sim::Timer rto_timer_;
@@ -286,26 +337,10 @@ class Sender {
   sim::Timer tlp_timer_;
   sim::Timer pacing_timer_;
   sim::Timer persist_timer_;
+
+  // ---- cold episode/bookkeeping fields ----
   int persist_backoff_ = 0;
   sim::Time next_pace_at_ = sim::Time::zero();
-
-  TcpState state_ = TcpState::kOpen;
-  uint64_t snd_una_ = 0;
-  uint64_t snd_nxt_ = 0;
-  // Per-sender (not global): connections must stay independent so the
-  // experiment harness can run them on worker threads deterministically.
-  uint64_t next_segment_id_ = 1;
-  uint64_t write_end_ = 0;
-  uint64_t cwnd_ = 0;
-  uint64_t ssthresh_ = UINT64_MAX;
-  uint64_t peer_rwnd_ = UINT64_MAX;
-
-  int dupthresh_ = 3;
-  bool fack_enabled_ = true;
-  bool reordering_seen_ = false;
-  int reorder_metric_segs_ = 0;
-
-  int dupack_count_ = 0;
 
   // Recovery episode state.
   uint64_t recovery_point_ = 0;
@@ -335,24 +370,12 @@ class Sender {
   uint64_t prior_loss_cwnd_ = 0;
   uint64_t prior_loss_ssthresh_ = 0;
 
-  bool aborted_ = false;
-  bool cwnd_limited_ = true;
-  sim::Time last_transmit_ = sim::Time::zero();
-
   // Flight recorder attachment (null = not tracing) and the last state
   // recorded, so note_transmit_state_change() can emit exactly one
   // kStateChange per transition.
   obs::FlightRecorder* recorder_ = nullptr;
   uint32_t conn_id_ = 0;
   TcpState traced_state_ = TcpState::kOpen;
-
-  // Busy-time accounting (Table 10).
-  sim::Time busy_since_ = sim::Time::zero();
-  bool busy_ = false;
-  sim::Time busy_accum_ = sim::Time::zero();
-  sim::Time loss_since_ = sim::Time::zero();
-  bool in_loss_recovery_ = false;
-  sim::Time loss_accum_ = sim::Time::zero();
 };
 
 }  // namespace prr::tcp

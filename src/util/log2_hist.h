@@ -1,0 +1,127 @@
+// Log2-bucket histogram (moved here from obs so the stats layer can use
+// it without depending on the observability registry). A sample v lands
+// in bucket bit_width(v) (bucket 0 holds v == 0), i.e. bucket b spans
+// [2^(b-1), 2^b). Record is a handful of arithmetic ops — no
+// allocation, no search — which is what lets per-ACK cost, event-slice
+// timings, and the bounded-stats sweep mode feed it from the hot path.
+// Covers the full uint64 range in 65 buckets. Merge is a per-bucket sum,
+// so shard merges are order-insensitive and bit-identical at any worker
+// count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace prr::util {
+
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void record(uint64_t v) {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  static int bucket_of(uint64_t v) {
+    int b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b;
+  }
+  // Inclusive lower edge of bucket b.
+  static uint64_t bucket_floor(int b) {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return min_; }
+  uint64_t max() const { return max_; }
+  uint64_t bucket(int b) const { return buckets_[b]; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  // Upper edge of the bucket containing the q-quantile (q in [0,1]) —
+  // log2 resolution, good enough for "p99 is ~2-4us" statements.
+  uint64_t approx_quantile(double q) const {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const uint64_t rank =
+        static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen >= rank) {
+        // Upper edge of bucket b, clamped to the observed max.
+        const uint64_t edge =
+            b >= 64 ? max_ : (uint64_t{1} << b) - 1;
+        return std::min(edge, max_);
+      }
+    }
+    return max_;
+  }
+
+  // q-quantile with linear interpolation across the ranks inside the
+  // containing bucket, clamped to the observed [min, max]. Still log2
+  // resolution between buckets, but smooth within one — the form the
+  // episode tables and registry JSON report.
+  double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Same rank convention as approx_quantile, then spread the bucket's
+    // occupants evenly across its value range and pick the rank's spot.
+    const uint64_t rank =
+        static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      if (seen + buckets_[b] >= rank) {
+        const double lo = static_cast<double>(bucket_floor(b));
+        const double hi = b >= 64 ? static_cast<double>(max_)
+                                  : static_cast<double>((uint64_t{1} << b) - 1);
+        const double within =
+            buckets_[b] == 1
+                ? 0.0
+                : static_cast<double>(rank - seen - 1) /
+                      static_cast<double>(buckets_[b] - 1);
+        const double v = lo + (hi - lo) * within;
+        return std::clamp(v, static_cast<double>(min_),
+                          static_cast<double>(max_));
+      }
+      seen += buckets_[b];
+    }
+    return static_cast<double>(max_);
+  }
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  void merge(const Log2Histogram& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  }
+
+  void reset() { *this = Log2Histogram{}; }
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace prr::util

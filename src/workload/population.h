@@ -59,6 +59,19 @@ struct ConnectionSample {
   sim::Time renege_at = sim::Time::zero();
 
   std::vector<http::ResponseSpec> responses;
+
+  // Rewinds every field to its default-constructed value while keeping
+  // the responses/faults vector capacity — the pool-recycle hot path
+  // resets a reused sample instead of constructing a fresh one.
+  void reset_keep_capacity() {
+    auto responses_keep = std::move(responses);
+    responses_keep.clear();
+    auto faults_keep = std::move(faults);
+    faults_keep.clear();
+    *this = ConnectionSample{};
+    responses = std::move(responses_keep);
+    faults = std::move(faults_keep);
+  }
 };
 
 class Population {
@@ -67,6 +80,14 @@ class Population {
   // Draws connection `id`'s full sample. Must be deterministic in
   // (seed carried by rng, id).
   virtual ConnectionSample sample(sim::Rng rng) const = 0;
+
+  // Draws the sample into `out`, reusing its buffer capacity where the
+  // population supports it. Semantically identical to `out = sample(rng)`
+  // (the default does exactly that); the sweep populations override it
+  // to fill in place so the warm sweep loop performs no allocation.
+  virtual void sample_into(sim::Rng rng, ConnectionSample& out) const {
+    out = sample(rng);
+  }
 };
 
 }  // namespace prr::workload

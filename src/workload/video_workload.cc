@@ -7,6 +7,12 @@ namespace prr::workload {
 
 ConnectionSample VideoWorkload::sample(sim::Rng rng) const {
   ConnectionSample s;
+  sample_into(rng, s);
+  return s;
+}
+
+void VideoWorkload::sample_into(sim::Rng rng, ConnectionSample& s) const {
+  s.reset_keep_capacity();
   sim::Rng net_rng = rng.fork(1);
   sim::Rng app_rng = rng.fork(2);
 
@@ -66,7 +72,6 @@ ConnectionSample VideoWorkload::sample(sim::Rng rng) const {
   spec.chunk_bytes = static_cast<uint64_t>(
       params_.encoding_rate_mbps * 1e6 / 8.0 * 0.25);
   s.responses.push_back(spec);
-  return s;
 }
 
 }  // namespace prr::workload

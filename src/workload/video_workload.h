@@ -43,6 +43,7 @@ class VideoWorkload final : public Population {
  public:
   explicit VideoWorkload(VideoWorkloadParams params = {}) : params_(params) {}
   ConnectionSample sample(sim::Rng rng) const override;
+  void sample_into(sim::Rng rng, ConnectionSample& out) const override;
   const VideoWorkloadParams& params() const { return params_; }
 
  private:

@@ -7,6 +7,12 @@ namespace prr::workload {
 
 ConnectionSample WebWorkload::sample(sim::Rng rng) const {
   ConnectionSample s;
+  sample_into(rng, s);
+  return s;
+}
+
+void WebWorkload::sample_into(sim::Rng rng, ConnectionSample& s) const {
+  s.reset_keep_capacity();
   sim::Rng net_rng = rng.fork(1);
   sim::Rng app_rng = rng.fork(2);
 
@@ -73,7 +79,6 @@ ConnectionSample WebWorkload::sample(sim::Rng rng) const {
     }
     s.responses.push_back(http::ResponseSpec::plain(bytes, gap));
   }
-  return s;
 }
 
 }  // namespace prr::workload

@@ -46,6 +46,7 @@ class WebWorkload final : public Population {
  public:
   explicit WebWorkload(WebWorkloadParams params = {}) : params_(params) {}
   ConnectionSample sample(sim::Rng rng) const override;
+  void sample_into(sim::Rng rng, ConnectionSample& out) const override;
   const WebWorkloadParams& params() const { return params_; }
 
  private:
