@@ -13,14 +13,11 @@
 //
 // A missing input is recorded as null rather than an error, so the tool
 // also works when only one bench ran.
-#include <unistd.h>
-
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
-#include <thread>
 
+#include "host_fingerprint.h"
 #include "obs/json.h"
 
 using namespace prr;
@@ -77,11 +74,9 @@ int main() {
       hist_env ? hist_env : "BENCH_HISTORY.jsonl";
   const std::string sha = sha_env && *sha_env ? sha_env : "local";
 
-  char host[256] = "unknown";
-  if (gethostname(host, sizeof(host) - 1) != 0) {
-    std::strcpy(host, "unknown");
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
+  // Full fingerprint (host, CPU model, core count) so perf_ratchet can
+  // refuse to compare runs from different machines.
+  const bench::HostFingerprint fp = bench::host_fingerprint();
 
   const std::string sweep = slurp(sweep_path);
   const std::string trace = slurp(trace_path);
@@ -106,9 +101,8 @@ int main() {
   }
 
   std::string line = "{\"sha\":" + obs::json_quote(sha) +
-                     ",\"machine\":{\"host\":" + obs::json_quote(host) +
-                     ",\"hardware_concurrency\":" + std::to_string(hw) +
-                     "},\"sweep\":" + (sweep_ok ? minify(sweep) : "null") +
+                     ",\"machine\":" + bench::host_fingerprint_json(fp) +
+                     ",\"sweep\":" + (sweep_ok ? minify(sweep) : "null") +
                      ",\"trace\":" + (trace_ok ? minify(trace) : "null") +
                      "}\n";
 

@@ -38,10 +38,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "host_fingerprint.h"
 #include "workload/web_workload.h"
 
 using namespace prr;
@@ -254,6 +256,12 @@ int main() {
   const char* budget_env = std::getenv("SWEEP_MEM_BUDGET_MB");
   const char* keep_env = std::getenv("SWEEP_KEEP_SHARDS");
   const char* json_env = std::getenv("BENCH_SWEEP_JSON");
+  // Scheduler toggle matrix (DESIGN.md §12): SWEEP_SCHEDULER=heap|wheel
+  // and SWEEP_BATCH=0|1 pin the ordering backend and the ACK-train batch
+  // delivery mode, so CI's equivalence gate and A/B perf runs can drive
+  // every combination through one binary. Defaults match RunOptions.
+  const char* sched_env = std::getenv("SWEEP_SCHEDULER");
+  const char* batch_env = std::getenv("SWEEP_BATCH");
   const int connections = conn_env ? std::atoi(conn_env) : 2000;
   const std::vector<int> thread_counts =
       parse_thread_list(threads_env ? threads_env : "1,2,4,8");
@@ -271,12 +279,19 @@ int main() {
   opts.seed = 20110501;
   opts.bounded_stats = bounded;
   opts.pool_connections = pool;
+  if (sched_env != nullptr) {
+    opts.scheduler = std::string_view(sched_env) == "heap"
+                         ? sim::SchedulerBackend::kHeap
+                         : sim::SchedulerBackend::kWheel;
+  }
+  if (batch_env != nullptr) opts.batch_delivery = std::atoi(batch_env) != 0;
 
   // Parallel speedup numbers are only meaningful when the machine has
   // cores to scale onto; on a 1-core box every thread count serializes
   // and "speedup" is just scheduling noise. The serial conns/sec trend
   // is the figure future PRs should track in that case.
-  const unsigned hw = std::thread::hardware_concurrency();
+  const bench::HostFingerprint fp = bench::host_fingerprint();
+  const unsigned hw = fp.hardware_concurrency;
   const bool speedup_meaningful = hw > 1;
   std::printf("hardware_concurrency=%u%s%s%s\n\n", hw,
               speedup_meaningful
@@ -428,13 +443,22 @@ int main() {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
+  // speedup_nulled_reason states, in the artifact itself, why every
+  // speedup_vs_serial below is null instead of leaving readers to guess
+  // (the historical JSON showed hardware_concurrency: 1 with bare
+  // nulls). The machine object is the fingerprint perf_ratchet keys
+  // comparisons on.
   std::fprintf(f,
                "{\n"
                "  \"benchmark\": \"sweep_scaling\",\n"
                "  \"connections\": %d,\n"
                "  \"arms\": %zu,\n"
+               "  \"machine\": %s,\n"
                "  \"hardware_concurrency\": %u,\n"
                "  \"speedup_meaningful\": %s,\n"
+               "  \"speedup_nulled_reason\": %s,\n"
+               "  \"scheduler\": \"%s\",\n"
+               "  \"batch_delivery\": %s,\n"
                "  \"bounded_stats\": %s,\n"
                "  \"pool_connections\": %s,\n"
                "  \"serial_conns_per_sec\": %.1f,\n"
@@ -444,8 +468,17 @@ int main() {
                "  \"fork_procs\": %d,\n"
                "  \"fork_merge_identical\": %s,\n"
                "  \"points\": [\n",
-               connections, arms.size(), hw,
+               connections, arms.size(),
+               bench::host_fingerprint_json(fp).c_str(), hw,
                speedup_meaningful ? "true" : "false",
+               speedup_meaningful
+                   ? "null"
+                   : "\"hardware_concurrency == 1: every thread count "
+                     "serializes onto one core, so speedup_vs_serial "
+                     "would be scheduling noise, not scaling\"",
+               opts.scheduler == sim::SchedulerBackend::kWheel ? "wheel"
+                                                               : "heap",
+               opts.batch_delivery ? "true" : "false",
                bounded ? "true" : "false", pool ? "true" : "false",
                serial_conns_per_sec, digests_match ? "true" : "false",
                rss_mb, bytes_per_conn, procs,

@@ -1,0 +1,69 @@
+// Host fingerprint shared by the perf tooling: bench_sweep_scaling
+// stamps it into BENCH_SWEEP.json, append_history into every
+// BENCH_HISTORY.jsonl line, and perf_ratchet compares against it so a
+// throughput bar set on one machine is never applied to another. The
+// fingerprint is (hostname, CPU model string, hardware concurrency) —
+// enough to tell container reschedules and instance-type changes apart
+// from real regressions.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/json.h"
+
+namespace prr::bench {
+
+struct HostFingerprint {
+  std::string host = "unknown";
+  std::string cpu_model = "unknown";
+  unsigned hardware_concurrency = 0;
+};
+
+// First "model name" line of /proc/cpuinfo; "unknown" when unreadable
+// (non-Linux, restricted container).
+inline std::string cpu_model_name() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "rb");
+  if (f == nullptr) return "unknown";
+  char line[512];
+  std::string model = "unknown";
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) != 0) continue;
+    const char* colon = std::strchr(line, ':');
+    if (colon == nullptr) break;
+    ++colon;
+    while (*colon == ' ' || *colon == '\t') ++colon;
+    model = colon;
+    while (!model.empty() &&
+           (model.back() == '\n' || model.back() == '\r')) {
+      model.pop_back();
+    }
+    break;
+  }
+  std::fclose(f);
+  return model;
+}
+
+inline HostFingerprint host_fingerprint() {
+  HostFingerprint fp;
+  char host[256] = "unknown";
+  if (gethostname(host, sizeof(host) - 1) == 0) fp.host = host;
+  fp.cpu_model = cpu_model_name();
+  fp.hardware_concurrency = std::thread::hardware_concurrency();
+  return fp;
+}
+
+// {"host":...,"cpu_model":...,"hardware_concurrency":N} — the shared
+// "machine" object shape.
+inline std::string host_fingerprint_json(const HostFingerprint& fp) {
+  return "{\"host\":" + obs::json_quote(fp.host) +
+         ",\"cpu_model\":" + obs::json_quote(fp.cpu_model) +
+         ",\"hardware_concurrency\":" +
+         std::to_string(fp.hardware_concurrency) + "}";
+}
+
+}  // namespace prr::bench

@@ -9,6 +9,8 @@
 
 #include "core/prr.h"
 #include "http/server_app.h"
+#include "net/link.h"
+#include "net/segment.h"
 #include "obs/flight_recorder.h"
 #include "obs/instrument.h"
 #include "sim/simulator.h"
@@ -62,10 +64,12 @@ void BM_PrrOnAck(benchmark::State& state) {
 BENCHMARK(BM_PrrOnAck);
 
 // Steady-state event churn: schedule + fire (the Link/Timer pattern)
-// and a timer-style reschedule, on a warm queue. Both must report
-// allocs_per_op == 0 — the slot map recycles storage.
+// and a timer-style reschedule, on a warm queue pinned to the heap
+// backend (BM_TimerWheel* below are the wheel counterparts). Both must
+// report allocs_per_op == 0 — the slot map recycles storage.
 void BM_EventSchedule(benchmark::State& state) {
   prr::sim::EventQueue q;
+  q.set_backend(prr::sim::SchedulerBackend::kHeap);
   int64_t now_us = 0;
   uint64_t fired = 0;
   // Warm the slot and heap vectors with a standing population.
@@ -92,6 +96,7 @@ BENCHMARK(BM_EventSchedule);
 
 void BM_EventReschedule(benchmark::State& state) {
   prr::sim::EventQueue q;
+  q.set_backend(prr::sim::SchedulerBackend::kHeap);
   uint64_t fired = 0;
   prr::sim::EventId id =
       q.schedule(prr::sim::Time::microseconds(1), [&fired] { ++fired; });
@@ -104,6 +109,103 @@ void BM_EventReschedule(benchmark::State& state) {
   benchmark::DoNotOptimize(fired);
 }
 BENCHMARK(BM_EventReschedule);
+
+// Timing-wheel counterparts of the two queue benches above: the same
+// schedule+fire churn and the same timer-style reschedule, explicitly on
+// the wheel backend, with a standing far-future population so overflow
+// levels (and the cascades that drain them) are exercised rather than
+// just level 0. Reschedule is the wheel's headline O(1) case — the RTO
+// re-armed on every ACK relinks one intrusive node instead of leaving a
+// stale heap entry behind. Both must report allocs_per_op == 0.
+void BM_TimerWheelSchedule(benchmark::State& state) {
+  prr::sim::EventQueue q;
+  q.set_backend(prr::sim::SchedulerBackend::kWheel);
+  int64_t now_us = 0;
+  uint64_t fired = 0;
+  std::vector<prr::sim::EventId> standing;
+  for (int i = 0; i < 64; ++i) {
+    standing.push_back(q.schedule(
+        prr::sim::Time::microseconds(1'000'000'000 + i), [&fired] {
+          ++fired;
+        }));
+  }
+  AllocsPerOp allocs(state);
+  for (auto _ : state) {
+    q.schedule(prr::sim::Time::microseconds(now_us + 10),
+               [&fired] { ++fired; });
+    ++now_us;
+    while (!q.empty() &&
+           q.next_time() <= prr::sim::Time::microseconds(now_us)) {
+      q.run_next();
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_TimerWheelSchedule);
+
+void BM_TimerWheelReschedule(benchmark::State& state) {
+  prr::sim::EventQueue q;
+  q.set_backend(prr::sim::SchedulerBackend::kWheel);
+  uint64_t fired = 0;
+  // A standing timer population spread across wheel levels, so the
+  // rescheduled timer's unlink/link happens in realistically occupied
+  // slots (not a degenerate empty wheel).
+  std::vector<prr::sim::EventId> standing;
+  for (int i = 0; i < 64; ++i) {
+    standing.push_back(q.schedule(
+        prr::sim::Time::microseconds(int64_t{1} << (10 + i % 20)),
+        [&fired] { ++fired; }));
+  }
+  prr::sim::EventId id =
+      q.schedule(prr::sim::Time::microseconds(1), [&fired] { ++fired; });
+  int64_t at = 1;
+  AllocsPerOp allocs(state);
+  for (auto _ : state) {
+    id = q.reschedule(id, prr::sim::Time::microseconds(++at));
+    benchmark::DoNotOptimize(id);
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_TimerWheelReschedule);
+
+// ACK-train delivery through a Link: `train` back-to-back 40-byte ACKs
+// enter a fast link whose propagation delay holds them all in flight at
+// once, so they arrive as one contiguous train. Per-event mode (Arg 1 ==
+// 0) pays one EventQueue round-trip per ACK; batch mode (Arg 1 == 1)
+// pays one drain event per train and dispatches the rest inline
+// (DESIGN.md §12). ns/op is per train, so the per-ACK dispatch saving
+// scales with the train length. Must report allocs_per_op == 0.
+void BM_AckTrainDeliver(benchmark::State& state) {
+  const int train = static_cast<int>(state.range(0));
+  const bool batch = state.range(1) != 0;
+  prr::sim::Simulator sim;
+  sim.set_batch_delivery(batch);
+  uint64_t delivered = 0;
+  prr::net::Link::Config cfg;
+  cfg.rate = prr::util::DataRate::mbps(10'000);
+  cfg.propagation_delay = prr::sim::Time::microseconds(50);
+  cfg.queue_limit_packets = 256;
+  prr::net::Link link(sim, cfg,
+                      [&delivered](prr::net::Segment&&) { ++delivered; });
+  AllocsPerOp allocs(state);
+  for (auto _ : state) {
+    for (int i = 0; i < train; ++i) {
+      prr::net::Segment ack;
+      ack.is_ack = true;
+      ack.ack = delivered * 1460;
+      link.send(std::move(ack));
+    }
+    sim.run(sim.now() + prr::sim::Time::microseconds(200));
+  }
+  if (delivered !=
+      static_cast<uint64_t>(train) * static_cast<uint64_t>(state.iterations())) {
+    state.SkipWithError("train not fully delivered");
+  }
+  state.counters["acks_per_op"] = benchmark::Counter(
+      static_cast<double>(train));
+}
+BENCHMARK(BM_AckTrainDeliver)
+    ->ArgsProduct({{1, 4, 16, 64}, {0, 1}});
 
 template <typename Policy>
 void BM_PolicyOnAck(benchmark::State& state) {

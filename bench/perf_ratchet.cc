@@ -3,23 +3,26 @@
 // and fails when throughput regressed by more than the tolerance.
 //
 // Perf numbers only compare within one machine, so the ratchet filters
-// history to entries from the same host with the same hardware
-// concurrency, and measures against the BEST such entry (the ratchet
-// only tightens: a noisy slow run in history never lowers the bar). A
-// machine with no history passes vacuously — the first recorded run
-// becomes its bar.
+// history to entries whose full host fingerprint (hostname, CPU model,
+// hardware concurrency — bench/host_fingerprint.h) matches this run's,
+// and measures against the BEST such entry (the ratchet only tightens:
+// a noisy slow run in history never lowers the bar). Entries from other
+// machines are refused LOUDLY — each mismatch is printed with the field
+// that differed — instead of being silently skipped, so a CI runner
+// change shows up as "refused N cross-host entries", not as a
+// mysteriously vacuous pass. A machine with no usable history passes
+// vacuously — the first recorded run becomes its bar.
 //
 // Environment:
 //   BENCH_SWEEP_JSON     current sweep result (default "BENCH_SWEEP.json")
 //   BENCH_HISTORY_JSONL  history to ratchet against
 //                        (default "BENCH_HISTORY.jsonl")
 //   RATCHET_TOLERANCE    allowed fractional regression (default 0.10)
-#include <unistd.h>
-
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
+
+#include "host_fingerprint.h"
 
 namespace {
 
@@ -80,13 +83,29 @@ int main() {
     return 1;
   }
 
-  char host[256] = "unknown";
-  if (gethostname(host, sizeof(host) - 1) != 0) std::strcpy(host, "unknown");
+  const prr::bench::HostFingerprint fp = prr::bench::host_fingerprint();
+
+  // The sweep under test must itself be from this machine: a
+  // BENCH_SWEEP.json copied in from elsewhere (or committed from a
+  // different CI runner) must not be ratcheted against local history.
+  const std::string sweep_host = find_string(sweep, "host");
+  if (!sweep_host.empty() && sweep_host != fp.host) {
+    std::fprintf(stderr,
+                 "perf_ratchet: REFUSING cross-host comparison: %s was "
+                 "produced on host %s but this machine is %s — rerun "
+                 "bench_sweep_scaling here\n",
+                 sweep_path.c_str(), sweep_host.c_str(), fp.host.c_str());
+    return 1;
+  }
 
   const std::string history = slurp(hist_path);
   double best = 0;
   int considered = 0;
-  // One JSON object per line; scan line by line.
+  int refused = 0;
+  // One JSON object per line; scan line by line. The wrapper's
+  // "machine" object precedes the embedded sweep document on every
+  // line, so first-occurrence key scans read the fingerprint, not a
+  // field of the sweep.
   std::size_t line_start = 0;
   while (line_start < history.size()) {
     std::size_t line_end = history.find('\n', line_start);
@@ -95,7 +114,33 @@ int main() {
         history.substr(line_start, line_end - line_start);
     line_start = line_end + 1;
     if (line.empty()) continue;
-    if (find_string(line, "host") != host) continue;
+    const std::string past_host = find_string(line, "host");
+    const std::string past_cpu = find_string(line, "cpu_model");
+    const double past_hw = find_number(line, "hardware_concurrency");
+    const char* mismatch = nullptr;
+    if (past_host != fp.host) {
+      mismatch = "host";
+    } else if (!past_cpu.empty() && past_cpu != fp.cpu_model) {
+      // Pre-fingerprint history lines carry no cpu_model; same-host
+      // entries without one stay comparable rather than orphaned.
+      mismatch = "cpu_model";
+    } else if (past_hw > 0 &&
+               past_hw != static_cast<double>(fp.hardware_concurrency)) {
+      mismatch = "hardware_concurrency";
+    }
+    if (mismatch != nullptr) {
+      ++refused;
+      std::fprintf(stderr,
+                   "perf_ratchet: REFUSING cross-host comparison: "
+                   "history entry (host %s, cpu %s, hw %d) differs from "
+                   "this machine (host %s, cpu %s, hw %u) in %s\n",
+                   past_host.empty() ? "?" : past_host.c_str(),
+                   past_cpu.empty() ? "?" : past_cpu.c_str(),
+                   static_cast<int>(past_hw), fp.host.c_str(),
+                   fp.cpu_model.c_str(), fp.hardware_concurrency,
+                   mismatch);
+      continue;
+    }
     const double past = find_number(line, "serial_conns_per_sec");
     if (past <= 0) continue;
     ++considered;
@@ -104,10 +149,18 @@ int main() {
 
   if (considered == 0) {
     std::printf(
-        "perf_ratchet: no history for host %s in %s — current %.1f "
-        "conns/sec becomes the bar (PASS)\n",
-        host, hist_path.c_str(), current);
+        "perf_ratchet: no comparable history for host %s in %s (%d "
+        "cross-host entr%s refused) — current %.1f conns/sec becomes "
+        "the bar (PASS)\n",
+        fp.host.c_str(), hist_path.c_str(), refused,
+        refused == 1 ? "y" : "ies", current);
     return 0;
+  }
+  if (refused > 0) {
+    std::printf(
+        "perf_ratchet: refused %d cross-host entr%s (see stderr); "
+        "comparing against same-fingerprint runs only\n",
+        refused, refused == 1 ? "y" : "ies");
   }
 
   const double floor = best * (1.0 - tolerance);

@@ -25,6 +25,7 @@
 
 #include "core/prr.h"
 #include "obs/episodes.h"
+#include "sim/event_queue.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace_record.h"
 #include "sim/time.h"
@@ -228,6 +229,22 @@ struct RunOptions {
   // construction", enforced by digest tests — and roughly halves serial
   // sweep cost; on by default.
   bool pool_connections = true;
+
+  // --- serial hot path (DESIGN.md §12) ---
+  // Ordering backend for each connection's event queue. kWheel (the
+  // compiled default unless PRR_SCHEDULER_WHEEL_DEFAULT=0) is the O(1)
+  // hierarchical timing wheel; kHeap is the 4-ary min-heap. Pop order —
+  // and therefore every aggregate and digest — is byte-identical between
+  // them (the differential tests in tests/test_timing_wheel.cc and the
+  // bench/scheduler_equivalence_gate enforce it).
+  sim::SchedulerBackend scheduler = sim::kDefaultSchedulerBackend;
+  // ACK-train batch delivery + coalesced timer rearms: links deliver
+  // contiguous runs of propagating segments per queue event (the clock
+  // still advances to each segment's own timestamp before its hook) and
+  // per-ACK timer rearms defer their queue push under a pre-drawn FIFO
+  // seq. Observation-equivalent to per-event mode by construction; on by
+  // default because it is the serial-throughput win.
+  bool batch_delivery = true;
 
   // Attach a tcp::InvariantChecker to every connection and quarantine
   // the ones that trip it. Off by default: the stationary experiment hot

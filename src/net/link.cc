@@ -25,6 +25,9 @@ void Link::reset(Config config) {
   // events); return them all to the free list, keeping pool capacity.
   flight_free_.clear();
   for (uint32_t i = 0; i < flight_.size(); ++i) flight_free_.push_back(i);
+  train_.clear();
+  train_head_ = 0;
+  drain_id_ = sim::kInvalidEventId;
   busy_ = false;
   blackout_ = false;
   stats_ = {};
@@ -86,10 +89,89 @@ void Link::finish_transmission() {
       slot = static_cast<uint32_t>(flight_.size());
       flight_.push_back(std::move(seg));
     }
-    sim_.schedule_in(total, [this, slot] { deliver_flight(slot); });
+    if (sim_.batch_delivery()) {
+      // Draw the seq at exactly the point per-event mode would schedule,
+      // so the (time, seq) key — and hence global dispatch order — is
+      // identical; only the queue traffic differs (one drain event per
+      // contiguous train instead of one event per segment).
+      const uint64_t seq = sim_.take_seq();
+      sim::Time at = sim_.now() + total;
+      if (at < sim_.now()) at = sim_.now();
+      enqueue_flight(at, seq, slot);
+    } else {
+      sim_.schedule_in(total, [this, slot] { deliver_flight(slot); });
+    }
   }
   busy_ = false;
   start_transmission();
+}
+
+void Link::enqueue_flight(sim::Time at, uint64_t seq, uint32_t slot) {
+  if (train_head_ == train_.size()) {
+    train_.clear();
+    train_head_ = 0;
+  }
+  const bool was_empty = train_.size() == train_head_;
+  bool new_front = was_empty;
+  if (was_empty || at > train_.back().at ||
+      (at == train_.back().at && seq > train_.back().seq)) {
+    // Common case: delivery times are nondecreasing (fixed propagation
+    // delay), so the new arrival appends at the tail.
+    train_.push_back(FlightEvent{at, seq, slot});
+  } else {
+    // A propagation-delay shrink mid-train (route-change fault) delivers
+    // this segment before ones already propagating — insert in (at, seq)
+    // order, exactly where the event queue would have sorted it.
+    auto pos = std::upper_bound(
+        train_.begin() + static_cast<std::ptrdiff_t>(train_head_),
+        train_.end(), FlightEvent{at, seq, slot},
+        [](const FlightEvent& a, const FlightEvent& b) {
+          if (a.at != b.at) return a.at < b.at;
+          return a.seq < b.seq;
+        });
+    new_front =
+        pos == train_.begin() + static_cast<std::ptrdiff_t>(train_head_);
+    train_.insert(pos, FlightEvent{at, seq, slot});
+  }
+  if (new_front) {
+    // The drain event always carries the front's own (time, seq) key, so
+    // it dispatches exactly when the front's per-event entry would have.
+    if (drain_id_ != sim::kInvalidEventId) {
+      drain_id_ = sim_.reschedule_at_with_seq(drain_id_, at, seq);
+    }
+    if (drain_id_ == sim::kInvalidEventId) {
+      drain_id_ =
+          sim_.schedule_at_with_seq(at, seq, [this] { drain_train(); });
+    }
+  }
+}
+
+void Link::drain_train() {
+  drain_id_ = sim::kInvalidEventId;  // this event is firing
+  bool first = true;
+  for (;;) {
+    const FlightEvent fe = train_[train_head_++];
+    // The drain event fired at the front's own timestamp; each further
+    // batched delivery advances the clock to its own timestamp first, so
+    // every deliver_ callback sees exactly the now() it sees per-event.
+    if (!first) sim_.advance_to(fe.at);
+    first = false;
+    deliver_flight(fe.slot);
+    if (train_head_ == train_.size()) {
+      train_.clear();
+      train_head_ = 0;
+      return;
+    }
+    const FlightEvent& next = train_[train_head_];
+    if (!sim_.can_dispatch_inline(next.at, next.seq)) {
+      // A queued event (or the step deadline) comes first: put the rest
+      // of the train back behind a drain event under the front's
+      // original key and yield to the queue.
+      drain_id_ = sim_.schedule_at_with_seq(next.at, next.seq,
+                                            [this] { drain_train(); });
+      return;
+    }
+  }
 }
 
 void Link::deliver_flight(uint32_t slot) {

@@ -105,10 +105,22 @@ class Link {
   std::size_t queue_depth() const { return queue_.size() + (busy_ ? 1 : 0); }
 
  private:
+  // One propagating segment's scheduled arrival in batch-delivery mode:
+  // the (time, seq) key it would have occupied in the event queue, plus
+  // its flight-pool slot. The train is kept sorted by (time, seq) and
+  // represented in the queue by a single drain event keyed at its front.
+  struct FlightEvent {
+    sim::Time at;
+    uint64_t seq;
+    uint32_t slot;
+  };
+
   void begin_serialization(Segment&& seg);
   void start_transmission();
   void finish_transmission();
   void deliver_flight(uint32_t slot);
+  void enqueue_flight(sim::Time at, uint64_t seq, uint32_t slot);
+  void drain_train();
 
   sim::Simulator& sim_;
   Config config_;
@@ -121,6 +133,11 @@ class Link {
   Segment serializing_;
   std::vector<Segment> flight_;
   std::vector<uint32_t> flight_free_;
+  // Batch-delivery train (sorted by (at, seq), consumed from train_head_)
+  // and the single queue event standing in for its front.
+  std::vector<FlightEvent> train_;
+  std::size_t train_head_ = 0;
+  sim::EventId drain_id_ = sim::kInvalidEventId;
   bool busy_ = false;
   bool blackout_ = false;
   bool models_customized_ = false;

@@ -1,0 +1,353 @@
+// Hierarchical timing wheel: the O(1) ordering backend behind EventQueue
+// (DESIGN.md §12). Eleven levels of 64 slots each cover the full int64
+// nanosecond range at 1 ns tick granularity; an entry lives at the level
+// of the highest 6-bit digit in which its expiry differs from the wheel
+// cursor, so the far future lands in overflow levels whose slots cascade
+// down one level at a time as the cursor reaches them.
+//
+// Entries are intrusive doubly-linked list nodes in a pool indexed by
+// the EventQueue slot index, so insert, cancel and reschedule are O(1)
+// unlink/link operations with zero allocation once the pool is warm —
+// the wheel never holds stale entries (unlike the heap backend's lazy
+// drops), and the steady-state zero-allocation invariant (DESIGN.md §7)
+// holds for reschedule-heavy timer traffic that would make slot vectors
+// churn.
+//
+// Pop order is the strict total order (time, seq) — byte-identical to
+// the 4-ary heap backend, which every differential test in
+// tests/test_timing_wheel.cc asserts. Three structural invariants make
+// that exact:
+//   1. A level-0 slot holds exactly one timestamp (tick = 1 ns): the
+//      cursor's 64 ns window only changes via a cascade, which requires
+//      level 0 to be empty first.
+//   2. Every slot list is kept in ascending seq order, so the level-0
+//      minimum is the list head. Fresh schedules draw globally
+//      increasing seqs and append at the tail in O(1); batch delivery
+//      materializes PRE-DRAWN seqs late (Timer::start_coalesced,
+//      Link::drain_train), which can legally arrive out of seq order
+//      and walk backwards to their sorted position. A cascade re-homes
+//      a seq-sorted source list in order, so each destination receives
+//      an ascending subsequence — tail appends.
+//   3. All wheel entries have time >= cursor_. The one exception the
+//      simulator can produce — scheduling below a cursor that peeking
+//      advanced past — is held in a small (time, seq)-sorted `early_`
+//      list that is checked first (its times precede everything in the
+//      wheel proper).
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace prr::sim {
+
+class TimingWheel {
+ public:
+  static constexpr int kLevelBits = 6;
+  static constexpr int kSlotsPerLevel = 1 << kLevelBits;  // 64
+  static constexpr int kLevels = 11;  // 11 * 6 = 66 bits >= int64 range
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  // The minimum live entry, as located by find_min().
+  struct MinRef {
+    int64_t at;
+    uint64_t seq;
+    uint32_t idx;  // EventQueue slot index
+  };
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  // Links entry `idx` (the EventQueue slot index) at time/seq. The node
+  // pool grows with the EventQueue slot pool and is recycled with it,
+  // so a warm pool never allocates here.
+  void insert(uint32_t idx, int64_t at, uint64_t seq) {
+    ensure_storage(idx);
+    Node& n = nodes_[idx];
+    assert(n.home == kHomeNone && "slot already linked");
+    n.at = at;
+    n.seq = seq;
+    ++count_;
+    // Keep the cached minimum hot: a new entry below it simply becomes
+    // the minimum — no rescan needed on the next peek.
+    if (min_valid_ &&
+        (at < min_.at || (at == min_.at && seq < min_.seq))) {
+      min_ = MinRef{at, seq, idx};
+    }
+    if (at < cursor_) {
+      link_early(idx);
+      return;
+    }
+    link_into_wheel(idx);
+  }
+
+  // O(1) true removal (cancel / reschedule): unlink the node wherever
+  // it lives. No-op if the slot is not linked.
+  void remove_if_linked(uint32_t idx) {
+    if (idx >= nodes_.size() || nodes_[idx].home == kHomeNone) return;
+    if (min_valid_ && idx == min_.idx) min_valid_ = false;
+    unlink(idx);
+  }
+
+  // Locates the minimum entry by (time, seq), cascading overflow slots
+  // as needed. Returns nullptr when empty. The result is cached, so
+  // repeated peeks (batch delivery probes the head once per inline
+  // dispatch) cost two branches; the cache is maintained across inserts
+  // and invalidated only when the minimum itself is removed. The
+  // reference stays valid until the next mutation; pop_found() removes
+  // exactly this entry.
+  const MinRef* find_min() {
+    if (count_ == 0) return nullptr;
+    if (min_valid_) return &min_;
+    // Early list first: its times all precede cursor_, hence everything
+    // in the wheel proper, and it is (time, seq)-sorted.
+    if (early_head_ != kNil) {
+      const Node& n = nodes_[early_head_];
+      min_ = MinRef{n.at, n.seq, early_head_};
+      min_valid_ = true;
+      return &min_;
+    }
+    for (;;) {
+      assert(level_occ_ != 0);
+      const int level = std::countr_zero(level_occ_);
+      const int s = std::countr_zero(occ_[level]);
+      if (level == 0) {
+        // Single-timestamp slot in ascending seq order: head is min.
+        const uint32_t h = heads_[static_cast<std::size_t>(s)];
+        const Node& n = nodes_[h];
+        min_ = MinRef{n.at, n.seq, h};
+        min_valid_ = true;
+        return &min_;
+      }
+      cascade(level, s);
+    }
+  }
+
+  // Removes the entry find_min() just returned and advances the cursor
+  // to its time. Precondition: find_min() returned non-null and no
+  // mutation happened in between.
+  void pop_found() {
+    const Node& n = nodes_[min_.idx];
+    if (n.home != kHomeEarly) cursor_ = n.at;
+    min_valid_ = false;
+    unlink(min_.idx);
+    // Re-prime the cache when the new minimum is already locatable
+    // without a cascade: the early list head precedes everything in the
+    // wheel, and failing that the lowest occupied level-0 slot is the
+    // minimum (all level-0 entries sit in the cursor's window at or
+    // after it, so slot index order is time order, and each slot list
+    // is seq-sorted). Anything else needs a cascade — leave it to the
+    // next find_min().
+    if (early_head_ != kNil) {
+      const Node& e = nodes_[early_head_];
+      min_ = MinRef{e.at, e.seq, early_head_};
+      min_valid_ = true;
+    } else if (occ_[0] != 0) {
+      const int s = std::countr_zero(occ_[0]);
+      const uint32_t h = heads_[static_cast<std::size_t>(s)];
+      const Node& m = nodes_[h];
+      min_ = MinRef{m.at, m.seq, h};
+      min_valid_ = true;
+    }
+  }
+
+  // Drops every entry and rewinds the cursor to zero, keeping the node
+  // pool (pool-recycle friendly, mirroring EventQueue::clear()).
+  // Rewinding is safe: the cursor only picks which level an insert
+  // homes to, never the pop order.
+  void clear() {
+    while (level_occ_ != 0) {
+      const int level = std::countr_zero(level_occ_);
+      while (occ_[level] != 0) {
+        const int s = std::countr_zero(occ_[level]);
+        unlink_all(static_cast<uint16_t>(level * kSlotsPerLevel + s));
+        clear_bit(level, s);
+      }
+    }
+    uint32_t it = early_head_;
+    while (it != kNil) {
+      const uint32_t next = nodes_[it].next;
+      detach(nodes_[it]);
+      it = next;
+    }
+    early_head_ = early_tail_ = kNil;
+    count_ = 0;
+    cursor_ = 0;
+    min_valid_ = false;
+  }
+
+ private:
+  // `home` values: a wheel list index (level * 64 + slot), or one of:
+  static constexpr uint16_t kHomeNone = 0xFFFF;
+  static constexpr uint16_t kHomeEarly = 0xFFFE;
+
+  struct Node {
+    int64_t at = 0;
+    uint64_t seq = 0;
+    uint32_t prev = kNil;
+    uint32_t next = kNil;
+    uint16_t home = kHomeNone;
+  };
+
+  void ensure_storage(uint32_t idx) {
+    if (heads_.empty()) {
+      heads_.assign(kLevels * kSlotsPerLevel, kNil);
+      tails_.assign(kLevels * kSlotsPerLevel, kNil);
+    }
+    if (idx >= nodes_.size()) nodes_.resize(idx + 1);
+  }
+
+  void link_into_wheel(uint32_t idx) {
+    const Node& n = nodes_[idx];
+    const uint64_t diff =
+        static_cast<uint64_t>(n.at) ^ static_cast<uint64_t>(cursor_);
+    const int level =
+        diff == 0 ? 0 : (63 - std::countl_zero(diff)) / kLevelBits;
+    const int s =
+        static_cast<int>(n.at >> (kLevelBits * level)) & (kSlotsPerLevel - 1);
+    link_seq_sorted(static_cast<uint16_t>(level * kSlotsPerLevel + s), idx);
+    occ_[level] |= uint64_t{1} << s;
+    level_occ_ |= uint16_t(1u << level);
+  }
+
+  // Links `idx` into wheel list `list` at its seq-sorted position.
+  // Fresh schedules carry the highest seq drawn so far, so the tail
+  // append is the common case; late-materialized pre-drawn seqs walk
+  // backwards (they were drawn recently, so the walk is short).
+  void link_seq_sorted(uint16_t list, uint32_t idx) {
+    Node& n = nodes_[idx];
+    n.home = list;
+    uint32_t after = tails_[list];
+    while (after != kNil && nodes_[after].seq > n.seq) {
+      after = nodes_[after].prev;
+    }
+    link_after(heads_[list], tails_[list], after, idx);
+  }
+
+  // Early list: times differ, so order by (time, seq).
+  void link_early(uint32_t idx) {
+    Node& n = nodes_[idx];
+    n.home = kHomeEarly;
+    uint32_t after = early_tail_;
+    while (after != kNil) {
+      const Node& p = nodes_[after];
+      if (p.at < n.at || (p.at == n.at && p.seq < n.seq)) break;
+      after = p.prev;
+    }
+    link_after(early_head_, early_tail_, after, idx);
+  }
+
+  void link_after(uint32_t& head, uint32_t& tail, uint32_t after,
+                  uint32_t idx) {
+    Node& n = nodes_[idx];
+    n.prev = after;
+    if (after == kNil) {
+      n.next = head;
+      head = idx;
+    } else {
+      n.next = nodes_[after].next;
+      nodes_[after].next = idx;
+    }
+    if (n.next == kNil) {
+      tail = idx;
+    } else {
+      nodes_[n.next].prev = idx;
+    }
+  }
+
+  void unlink(uint32_t idx) {
+    Node& n = nodes_[idx];
+    uint32_t* head;
+    uint32_t* tail;
+    if (n.home == kHomeEarly) {
+      head = &early_head_;
+      tail = &early_tail_;
+    } else {
+      head = &heads_[n.home];
+      tail = &tails_[n.home];
+    }
+    if (n.prev != kNil) {
+      nodes_[n.prev].next = n.next;
+    } else {
+      *head = n.next;
+    }
+    if (n.next != kNil) {
+      nodes_[n.next].prev = n.prev;
+    } else {
+      *tail = n.prev;
+    }
+    if (n.home != kHomeEarly && *head == kNil) {
+      clear_bit(n.home / kSlotsPerLevel, n.home % kSlotsPerLevel);
+    }
+    detach(n);
+    --count_;
+  }
+
+  void detach(Node& n) {
+    n.home = kHomeNone;
+    n.prev = kNil;
+    n.next = kNil;
+  }
+
+  // Re-homes every entry of overflow slot (level, s) one level down,
+  // advancing the cursor to the slot's window start first (everything
+  // below it is empty). Walking the seq-sorted source in order keeps
+  // every destination list seq-sorted via tail appends.
+  void cascade(int level, int s) {
+    const int shift = kLevelBits * level;
+    const int64_t digit_mask =
+        ~((static_cast<int64_t>(1) << (shift + kLevelBits)) - 1);
+    const int64_t window =
+        (cursor_ & digit_mask) | (static_cast<int64_t>(s) << shift);
+    if (window > cursor_) cursor_ = window;
+    const auto list = static_cast<uint16_t>(level * kSlotsPerLevel + s);
+    uint32_t it = heads_[list];
+    heads_[list] = kNil;
+    tails_[list] = kNil;
+    clear_bit(level, s);
+    while (it != kNil) {
+      const uint32_t next = nodes_[it].next;
+      Node& n = nodes_[it];
+      n.prev = kNil;
+      n.next = kNil;
+      assert(n.at >= cursor_);
+      link_into_wheel(it);  // strictly lower level: digit at `level` is 0
+      it = next;
+    }
+  }
+
+  void unlink_all(uint16_t list) {
+    uint32_t it = heads_[list];
+    while (it != kNil) {
+      const uint32_t next = nodes_[it].next;
+      detach(nodes_[it]);
+      it = next;
+    }
+    heads_[list] = kNil;
+    tails_[list] = kNil;
+  }
+
+  void clear_bit(int level, int s) {
+    occ_[level] &= ~(uint64_t{1} << s);
+    if (occ_[level] == 0) level_occ_ &= uint16_t(~(1u << level));
+  }
+
+  // Node pool indexed by EventQueue slot index; grows with the slot
+  // pool during warmup, then never again.
+  std::vector<Node> nodes_;
+  // heads_/tails_[level * kSlotsPerLevel + slot], allocated once on
+  // first insert so heap-backend queues pay no wheel memory.
+  std::vector<uint32_t> heads_;
+  std::vector<uint32_t> tails_;
+  uint64_t occ_[kLevels] = {};
+  uint16_t level_occ_ = 0;  // bit per level with any occupied slot
+  int64_t cursor_ = 0;
+  uint32_t early_head_ = kNil;
+  uint32_t early_tail_ = kNil;
+  std::size_t count_ = 0;
+  bool min_valid_ = false;  // cached-minimum flag for min_
+  MinRef min_{};  // cached minimum / locator for the last find_min()
+};
+
+}  // namespace prr::sim

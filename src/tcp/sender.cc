@@ -322,7 +322,10 @@ void Sender::transmit(uint64_t start, uint64_t end, bool retx) {
     busy_ = true;
     busy_since_ = sim_.now();
   }
-  if (!rto_timer_.pending()) rto_timer_.start(rto_est_.rto());
+  // Coalesced arm (sim::Timer::start_coalesced): under batch delivery
+  // the queue push is deferred — one per transmit burst instead of one
+  // per segment — with the fire time, FIFO seq, and trace identical.
+  if (!rto_timer_.pending()) rto_timer_.start_coalesced(rto_est_.rto());
 
   PRR_TRACE(recorder_, sim_.now(), conn_id_, obs::TraceType::kTransmit,
             retx ? 1 : 0, static_cast<uint16_t>(state_), start, len, cwnd_,
@@ -491,7 +494,10 @@ void Sender::process_ack(const net::Segment& ack) {
   } else if (out.una_advanced || out.newly_sacked_bytes > 0) {
     // Progress restarts the retransmission timer — unless the probe
     // timer currently owns the deadline (it re-arms the RTO itself).
-    if (!tlp_timer_.pending()) rto_timer_.start(rto_est_.rto());
+    // The hottest rearm in the simulator (once per progress ACK):
+    // coalesced, it costs one queue push per ACK train instead of one
+    // per ACK, with identical fire time and tie-break order.
+    if (!tlp_timer_.pending()) rto_timer_.start_coalesced(rto_est_.rto());
     maybe_arm_tlp();
   }
   // Zero-window handling: an opened window ends any persist episode; a
@@ -661,7 +667,7 @@ void Sender::maybe_arm_tlp() {
     pto = rto_est_.rto();
   }
   pto = std::min(pto, rto_est_.rto());
-  tlp_timer_.start(pto);
+  tlp_timer_.start_coalesced(pto);  // per-ACK rearm: defer the queue push
   // The probe timer supersedes the retransmission timer (as in Linux,
   // where ICSK_TIME_LOSS_PROBE replaces ICSK_TIME_RETRANS); the RTO is
   // re-armed when the probe fires.
