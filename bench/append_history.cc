@@ -112,8 +112,14 @@ int main() {
                  hist_path.c_str());
     return 1;
   }
-  std::fwrite(line.data(), 1, line.size(), out);
-  std::fclose(out);
+  const bool wrote =
+      std::fwrite(line.data(), 1, line.size(), out) == line.size();
+  if (std::fclose(out) != 0 || !wrote) {
+    // A torn append corrupts the whole JSONL history; fail loudly.
+    std::fprintf(stderr, "append_history: short write to %s\n",
+                 hist_path.c_str());
+    return 1;
+  }
   std::printf("append_history: recorded %s (%zu B) -> %s\n", sha.c_str(),
               line.size(), hist_path.c_str());
   return 0;

@@ -180,7 +180,10 @@ void write_shard_json(const std::string& path, uint64_t shard,
   }
   std::fprintf(f, "], \"self_digest\": \"0x%016" PRIx64 "\"}\n",
                fingerprint(aggs));
-  std::fclose(f);
+  // The parent's digest check catches torn content, but exit nonzero
+  // here too so the failure is attributed to the writer.
+  const bool torn = std::ferror(f) != 0;
+  if (std::fclose(f) != 0 || torn) _exit(3);
 }
 
 std::string slurp(const std::string& path) {
@@ -499,7 +502,11 @@ int main() {
     }
   }
   std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  const bool torn = std::ferror(f) != 0;
+  if (std::fclose(f) != 0 || torn) {
+    std::fprintf(stderr, "short write to %s\n", json_path.c_str());
+    return 1;
+  }
   std::printf("wrote %s\n", json_path.c_str());
   return (digests_match && fork_merge_identical && within_budget) ? 0 : 1;
 }

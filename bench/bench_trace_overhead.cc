@@ -196,7 +196,13 @@ int main() {
                micro_off * 1e6, micro_on * 1e6, micro_pct,
                static_cast<unsigned long long>(micro_records),
                identical ? "true" : "false");
-  std::fclose(f);
+  // A torn artifact (ENOSPC, a buffered tail lost at exit) must fail
+  // the bench, not surface later as unparseable BENCH_TRACE.json.
+  const bool torn = std::ferror(f) != 0;
+  if (std::fclose(f) != 0 || torn) {
+    std::fprintf(stderr, "short write to %s\n", json_path.c_str());
+    return 1;
+  }
   std::printf("wrote %s\n", json_path.c_str());
   return identical ? 0 : 1;
 }

@@ -1,0 +1,134 @@
+// JSON-validity gate for bench artifacts (DESIGN.md §13 satellite):
+// every file named on the command line — or, with no arguments, every
+// BENCH_*.json / BENCH_*.jsonl in the current directory — must parse as
+// well-formed JSON (JSONL: every line parses) and end in a newline.
+//
+// This is the cheap end of the artifact-integrity ladder: a truncated
+// BENCH_TRACE.json from an unflushed stream or a full disk looks
+// exactly like a valid file to `ls`, then breaks the history pipeline
+// one commit later inside append_history / perf_ratchet where the
+// failure is hard to attribute. CI runs this right after bench-smoke.
+//
+// Exit: 0 = every artifact parses, 1 = at least one is torn/invalid,
+// 2 = usage-level error (an explicitly named file is missing).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+using namespace prr;
+
+namespace {
+
+std::string slurp(const std::string& path, bool* ok) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *ok = false;
+    return {};
+  }
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  *ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return out;
+}
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// One file's verdict; prints its own diagnosis.
+bool check_file(const std::string& path) {
+  bool read_ok = false;
+  const std::string body = slurp(path, &read_ok);
+  if (!read_ok) {
+    std::printf("FAIL %-24s unreadable\n", path.c_str());
+    return false;
+  }
+  if (body.empty()) {
+    std::printf("FAIL %-24s empty (torn write?)\n", path.c_str());
+    return false;
+  }
+  if (body.back() != '\n') {
+    // Every writer in this repo terminates its artifact with \n; a
+    // missing one is the signature of a truncated buffered stream.
+    std::printf("FAIL %-24s missing trailing newline (truncated?)\n",
+                path.c_str());
+    return false;
+  }
+  if (ends_with(path, ".jsonl")) {
+    std::size_t line_no = 0;
+    std::size_t start = 0;
+    while (start < body.size()) {
+      std::size_t end = body.find('\n', start);
+      if (end == std::string::npos) end = body.size();
+      ++line_no;
+      const std::string_view line(body.data() + start, end - start);
+      if (!line.empty() && !obs::json_valid(line)) {
+        std::printf("FAIL %-24s line %zu is not valid JSON\n",
+                    path.c_str(), line_no);
+        return false;
+      }
+      start = end + 1;
+    }
+    std::printf("ok   %-24s %zu line(s)\n", path.c_str(), line_no);
+    return true;
+  }
+  if (!obs::json_valid(body)) {
+    std::printf("FAIL %-24s not valid JSON\n", path.c_str());
+    return false;
+  }
+  std::printf("ok   %-24s %zu B\n", path.c_str(), body.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      if (!std::filesystem::exists(argv[i])) {
+        std::fprintf(stderr, "json_gate: %s does not exist\n", argv[i]);
+        return 2;
+      }
+      files.emplace_back(argv[i]);
+    }
+  } else {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(".", ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          (ends_with(name, ".json") || ends_with(name, ".jsonl"))) {
+        files.push_back(name);
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "json_gate: cannot scan .: %s\n",
+                   ec.message().c_str());
+      return 2;
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      std::printf("json_gate: no BENCH_*.json artifacts here; "
+                  "nothing to validate\n");
+      return 0;
+    }
+  }
+
+  int failures = 0;
+  for (const std::string& f : files) {
+    if (!check_file(f)) ++failures;
+  }
+  std::printf("json_gate: %zu file(s), %d failure(s)%s\n", files.size(),
+              failures, failures == 0 ? " -- PASS" : " -- FAIL");
+  return failures == 0 ? 0 : 1;
+}

@@ -81,7 +81,9 @@ int main() {
     std::filesystem::create_directories(dir, ec);
     {
       std::ofstream f(dir + "/summary.json");
-      f << summary;
+      f << summary << std::flush;
+      if (!f) std::printf("WARN: short write to %s/summary.json\n",
+                          dir.c_str());
     }
     for (const torture::CampaignFailure& fail : result.failures) {
       std::string err;
@@ -90,8 +92,10 @@ int main() {
         std::printf("WARN: %s\n", err.c_str());
       }
       if (!fail.trace_json.empty()) {
-        std::ofstream f(dir + "/" + fail.repro.name + ".trace.json");
-        f << fail.trace_json;
+        const std::string tpath = dir + "/" + fail.repro.name + ".trace.json";
+        std::ofstream f(tpath);
+        f << fail.trace_json << std::flush;
+        if (!f) std::printf("WARN: short write to %s\n", tpath.c_str());
       }
     }
     std::printf("artifacts written to %s\n", dir.c_str());

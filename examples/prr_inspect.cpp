@@ -26,6 +26,7 @@
 //
 // Requires tracing compiled in (-DPRR_TRACING=ON, the default); prints
 // a skip message otherwise.
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +37,8 @@
 #include "obs/episodes.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace_diff.h"
+#include "util/artifacts.h"
+#include "workload/arrival.h"
 #include "workload/web_workload.h"
 
 using namespace prr;
@@ -53,16 +56,31 @@ int usage() {
       "  --arm-b NAME             second arm for diff     (default rfc3517)\n"
       "  --conn ID                connection id for dump/diff\n"
       "  --connections N          sweep size              (default 2000)\n"
-      "  --seed S                 experiment seed         (default 42)\n");
+      "  --first ID               first connection id     (default 0)\n"
+      "  --seed S                 experiment seed         (default 42)\n"
+      "  --loss-scale X           scale loss regime, as in a drift alert\n"
+      "  --rtt-scale X            scale RTTs\n"
+      "  --bandwidth-scale X      scale access-link bandwidth\n"
+      "The regime scales replay an experiment-service quarantined window:\n"
+      "paste the alert's first_connection/connections/seed/scales here.\n");
   return 2;
 }
 
+// Accepts both the CLI short names and the display names the experiment
+// service prints in its triage commands ("PRR", "RFC 3517", "Linux"):
+// case-insensitive, spaces/underscores/hyphens ignored.
 bool parse_arm(const char* name, exp::ArmConfig* out) {
-  if (std::strcmp(name, "prr") == 0) {
+  std::string key;
+  for (const char* p = name; *p != '\0'; ++p) {
+    if (*p == ' ' || *p == '_' || *p == '-') continue;
+    key.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (key == "prr") {
     *out = exp::ArmConfig::prr_arm();
-  } else if (std::strcmp(name, "rfc3517") == 0) {
+  } else if (key == "rfc3517") {
     *out = exp::ArmConfig::rfc3517_arm();
-  } else if (std::strcmp(name, "linux") == 0) {
+  } else if (key == "linux") {
     *out = exp::ArmConfig::linux_arm();
   } else {
     std::printf("unknown arm '%s' (want prr, rfc3517 or linux)\n", name);
@@ -71,13 +89,16 @@ bool parse_arm(const char* name, exp::ArmConfig* out) {
   return true;
 }
 
-int cmd_episodes(const exp::RunOptions& opts) {
-  workload::WebWorkload pop;
+int cmd_episodes(const workload::Population& pop,
+                 const exp::RunOptions& opts) {
   const std::vector<exp::ArmConfig> arms = {exp::ArmConfig::prr_arm(),
                                             exp::ArmConfig::rfc3517_arm(),
                                             exp::ArmConfig::linux_arm()};
-  std::printf("web sweep: %d connections, seed %llu, 3 arms\n\n",
-              opts.connections, (unsigned long long)opts.seed);
+  std::printf("web sweep: ids [%llu, %llu), seed %llu, 3 arms\n\n",
+              (unsigned long long)opts.first_connection,
+              (unsigned long long)(opts.first_connection +
+                                   (uint64_t)opts.connections),
+              (unsigned long long)opts.seed);
   const auto results = exp::run_arms(pop, arms, opts);
   for (const auto& r : results) {
     std::printf("==== arm %s ====\n%s\n", r.name.c_str(),
@@ -86,9 +107,8 @@ int cmd_episodes(const exp::RunOptions& opts) {
   return 0;
 }
 
-int cmd_dump(const exp::RunOptions& opts, const exp::ArmConfig& arm,
-             uint64_t conn) {
-  workload::WebWorkload pop;
+int cmd_dump(const workload::Population& pop, const exp::RunOptions& opts,
+             const exp::ArmConfig& arm, uint64_t conn) {
   std::printf("connection %llu under arm %s (seed %llu)\n",
               (unsigned long long)conn, arm.name.c_str(),
               (unsigned long long)opts.seed);
@@ -110,9 +130,9 @@ int cmd_dump(const exp::RunOptions& opts, const exp::ArmConfig& arm,
   return 0;
 }
 
-int cmd_diff(const exp::RunOptions& opts, const exp::ArmConfig& arm_a,
-             const exp::ArmConfig& arm_b, uint64_t conn) {
-  workload::WebWorkload pop;
+int cmd_diff(const workload::Population& pop, const exp::RunOptions& opts,
+             const exp::ArmConfig& arm_a, const exp::ArmConfig& arm_b,
+             uint64_t conn) {
   std::printf("connection %llu: %s vs %s (seed %llu, CRN-aligned)\n\n",
               (unsigned long long)conn, arm_a.name.c_str(),
               arm_b.name.c_str(), (unsigned long long)opts.seed);
@@ -130,18 +150,23 @@ int cmd_diff(const exp::RunOptions& opts, const exp::ArmConfig& arm_a,
   std::printf("%s\n",
               obs::explain_divergence(d, arm_a.name, arm_b.name).c_str());
 
-  char path[64];
-  std::snprintf(path, sizeof(path), "prr_diff_conn%llu.json",
+  char name[64];
+  std::snprintf(name, sizeof(name), "prr_diff_conn%llu.json",
                 (unsigned long long)conn);
-  if (std::FILE* f = std::fopen(path, "w")) {
+  const std::string path = util::artifact_path(name);
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
     const std::string json =
         obs::perfetto_diff_json(a.records, b.records, arm_a.name,
                                 arm_b.name);
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    std::printf("wrote %s -- open it at https://ui.perfetto.dev "
-                "(%s = pid 1, %s = pid 2)\n",
-                path, arm_a.name.c_str(), arm_b.name.c_str());
+    bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (ok) {
+      std::printf("wrote %s -- open it at https://ui.perfetto.dev "
+                  "(%s = pid 1, %s = pid 2)\n",
+                  path.c_str(), arm_a.name.c_str(), arm_b.name.c_str());
+    } else {
+      std::printf("short write to %s\n", path.c_str());
+    }
   }
   return 0;
 }
@@ -163,6 +188,10 @@ int main(int argc, char** argv) {
   exp::RunOptions opts;
   opts.threads = 0;  // parallel sweep: byte-identical to serial
   opts.collect_episodes = true;
+  // Always-active path regime (identity unless the --*-scale flags are
+  // given) — replays the exact scaling an experiment-service drift
+  // alert recorded for its quarantined window.
+  workload::RegimeShift regime;
 
   for (int i = 2; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
@@ -186,26 +215,53 @@ int main(int argc, char** argv) {
       const char* v = need("--connections");
       if (!v) return 2;
       opts.connections = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--first") == 0) {
+      const char* v = need("--first");
+      if (!v) return 2;
+      opts.first_connection = static_cast<uint64_t>(std::atoll(v));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       const char* v = need("--seed");
       if (!v) return 2;
       opts.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--loss-scale") == 0) {
+      const char* v = need("--loss-scale");
+      if (!v) return 2;
+      regime.loss_scale = std::atof(v);
+    } else if (std::strcmp(argv[i], "--rtt-scale") == 0) {
+      const char* v = need("--rtt-scale");
+      if (!v) return 2;
+      regime.rtt_scale = std::atof(v);
+    } else if (std::strcmp(argv[i], "--bandwidth-scale") == 0) {
+      const char* v = need("--bandwidth-scale");
+      if (!v) return 2;
+      regime.bandwidth_scale = std::atof(v);
     } else {
       std::printf("unknown option '%s'\n", argv[i]);
       return usage();
     }
   }
 
-  if (cmd == "episodes") return cmd_episodes(opts);
+  workload::WebWorkload base;
+  workload::RegimeSchedule sched;
+  if (!regime.is_identity()) {
+    sched.shifts.push_back(regime);  // active from t = 0
+    std::printf("regime: loss x%g, rtt x%g, bandwidth x%g\n",
+                regime.loss_scale, regime.rtt_scale,
+                regime.bandwidth_scale);
+  }
+  workload::RegimePopulation pop(base, sched);
+  pop.set_window_time(sim::Time::zero());
+
+  if (cmd == "episodes") return cmd_episodes(pop, opts);
   if (cmd == "dump" || cmd == "diff") {
     if (conn < 0) {
       std::printf("%s requires --conn ID\n", cmd.c_str());
       return usage();
     }
     if (cmd == "dump") {
-      return cmd_dump(opts, arm_a, static_cast<uint64_t>(conn));
+      return cmd_dump(pop, opts, arm_a, static_cast<uint64_t>(conn));
     }
-    return cmd_diff(opts, arm_a, arm_b, static_cast<uint64_t>(conn));
+    return cmd_diff(pop, opts, arm_a, arm_b, static_cast<uint64_t>(conn));
   }
   return usage();
 }

@@ -24,11 +24,13 @@
 //   ./build/examples/replay_quarantine
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "exp/experiment.h"
 #include "exp/scenarios.h"
 #include "obs/trace_diff.h"
 #include "obs/trace_record.h"
+#include "util/artifacts.h"
 #include "workload/web_workload.h"
 
 using namespace prr;
@@ -97,15 +99,21 @@ int main(int argc, char** argv) {
              i < rec.trace_tail.size(); ++i) {
           std::printf("  %s\n", obs::describe(rec.trace_tail[i]).c_str());
         }
-        char path[64];
-        std::snprintf(path, sizeof(path), "quarantine_conn%llu_trace.json",
+        char name[64];
+        std::snprintf(name, sizeof(name), "quarantine_conn%llu_trace.json",
                       (unsigned long long)rec.connection_id);
-        if (std::FILE* f = std::fopen(path, "w")) {
+        const std::string path = util::artifact_path(name);
+        if (std::FILE* f = std::fopen(path.c_str(), "w")) {
           const std::string json = rec.trace_json();
-          std::fwrite(json.data(), 1, json.size(), f);
-          std::fclose(f);
-          std::printf("wrote %s -- open it at https://ui.perfetto.dev\n",
-                      path);
+          bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
+                    json.size();
+          ok = std::fclose(f) == 0 && ok;
+          if (ok) {
+            std::printf("wrote %s -- open it at https://ui.perfetto.dev\n",
+                        path.c_str());
+          } else {
+            std::printf("short write to %s\n", path.c_str());
+          }
         }
       }
 

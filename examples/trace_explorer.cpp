@@ -34,6 +34,7 @@
 #include "obs/instrument.h"
 #include "obs/perfetto.h"
 #include "obs/snapshot.h"
+#include "util/artifacts.h"
 #include "sim/simulator.h"
 #include "tcp/connection.h"
 #include "workload/web_workload.h"
@@ -42,12 +43,17 @@ using namespace prr;
 
 namespace {
 
-bool write_file(const char* path, const std::string& body) {
-  std::FILE* f = std::fopen(path, "w");
+// Writes under the artifact directory ($PRR_ARTIFACT_DIR or
+// ./artifacts) so runs from a source checkout keep the tree clean.
+bool write_file(const char* name, const std::string& body,
+                std::string* path_out) {
+  const std::string path = util::artifact_path(name);
+  std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  std::fwrite(body.data(), 1, body.size(), f);
-  std::fclose(f);
-  return true;
+  bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  ok = std::fclose(f) == 0 && ok;
+  *path_out = path;
+  return ok;
 }
 
 }  // namespace
@@ -101,10 +107,13 @@ int main() {
   std::printf("\nsender snapshot (ss -i style):\n  %s\n",
               obs::snapshot(conn.sender(), /*conn_id=*/0).c_str());
 
-  if (write_file("trace.json", obs::perfetto_trace_json(recorder))) {
-    std::printf("wrote trace.json -- load it at https://ui.perfetto.dev: "
+  std::string out_path;
+  if (write_file("trace.json", obs::perfetto_trace_json(recorder),
+                 &out_path)) {
+    std::printf("wrote %s -- load it at https://ui.perfetto.dev: "
                 "expand \"prr simulator\", then scrub the conn0 window "
-                "counter track through the fast-recovery slice.\n");
+                "counter track through the fast-recovery slice.\n",
+                out_path.c_str());
   }
 
   // ---- Part 2: a traced sweep and its metrics registry -----------------
@@ -124,9 +133,10 @@ int main() {
               (unsigned long long)result.registry
                   .find_counter("obs.trace.records_written")
                   ->value());
-  if (write_file("registry.json", result.registry.to_json())) {
-    std::printf("wrote registry.json -- counters, gauges and log-scale "
-                "histograms for the whole arm.\n");
+  if (write_file("registry.json", result.registry.to_json(), &out_path)) {
+    std::printf("wrote %s -- counters, gauges and log-scale "
+                "histograms for the whole arm.\n",
+                out_path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,86 @@
+#include "exp/service_timeline.h"
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/perfetto.h"
+
+namespace prr::exp {
+
+namespace {
+
+constexpr int kScoreboardPid = 1;
+constexpr int kControlPid = 2;
+
+std::string ts_us(double t_s) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", t_s * 1e6);
+  return buf;
+}
+
+void counter_event(std::string& out, double t_s, const std::string& track,
+                   std::initializer_list<std::pair<const char*, double>>
+                       values) {
+  out += "{\"ph\":\"C\",\"pid\":" + std::to_string(kScoreboardPid);
+  out += ",\"tid\":0,\"ts\":" + ts_us(t_s);
+  out += ",\"name\":" + obs::json_quote(track);
+  out += ",\"args\":{";
+  bool first = true;
+  for (const auto& [key, value] : values) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += key;
+    out += "\":" + obs::json_double(value);
+  }
+  out += "}},\n";
+}
+
+}  // namespace
+
+std::string service_timeline_json(const ServiceResult& res) {
+  std::string out = "{\"traceEvents\":[\n";
+  out += "{\"ph\":\"M\",\"pid\":" + std::to_string(kScoreboardPid) +
+         ",\"name\":\"process_name\",\"args\":{\"name\":\"scoreboard\"}},\n";
+
+  for (const ScoreboardSnapshot& snap : res.snapshots) {
+    counter_event(out, snap.t_s, "admitted",
+                  {{"total", static_cast<double>(snap.admitted)},
+                   {"window", static_cast<double>(snap.window_connections)},
+                   {"load", snap.load_factor}});
+    counter_event(out, snap.t_s, "regime",
+                  {{"loss_scale", snap.regime_loss_scale},
+                   {"rtt_scale", snap.regime_rtt_scale},
+                   {"bandwidth_scale", snap.regime_bandwidth_scale}});
+    for (const ArmSnapshot& arm : snap.arms) {
+      counter_event(out, snap.t_s, arm.name + " rates",
+                    {{"retx_pct", 100 * arm.retx_rate},
+                     {"timeout_pct", 100 * arm.timeout_frac}});
+      counter_event(out, snap.t_s, arm.name + " latency_ms",
+                    {{"p50", arm.latency_ms_p50},
+                     {"p95", arm.latency_ms_p95},
+                     {"p99", arm.latency_ms_p99}});
+      counter_event(out, snap.t_s, arm.name + " recovery",
+                    {{"mean_ms", arm.recovery_ms_mean},
+                     {"cwnd_kB", arm.final_cwnd_mean / 1024.0}});
+    }
+  }
+
+  // Control-plane instants (alerts, decisions) as their own process;
+  // their `conn` is the snapshot window index, so Perfetto groups them
+  // per window under this pid.
+  obs::perfetto_append_process(out, res.control_records, kControlPid,
+                               "control plane");
+
+  out += "{\"ph\":\"M\",\"pid\":" + std::to_string(kControlPid) +
+         ",\"name\":\"trace_complete\",\"args\":{\"snapshots\":" +
+         std::to_string(res.snapshots.size()) + ",\"control_records\":" +
+         std::to_string(res.control_records.size()) + "}}\n";
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace prr::exp

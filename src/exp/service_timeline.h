@@ -1,0 +1,21 @@
+// Perfetto export of one live-service run (DESIGN.md §13): the
+// scoreboard as per-arm counter tracks sampled at every snapshot
+// (retx/timeout rates, latency quantiles, cumulative admissions) plus
+// the control-plane instants — drift alerts and promote/hold/rollback
+// decisions — from the service flight recorder, composed as a second
+// process via the existing trace-event exporter (obs/perfetto.h). Drop
+// the output on ui.perfetto.dev to scrub the whole experiment.
+#pragma once
+
+#include <string>
+
+#include "exp/service.h"
+
+namespace prr::exp {
+
+// Chrome trace-event JSON for the full run. Deterministic: built only
+// from the snapshot stream and control records, which are themselves
+// bit-identical at any thread count.
+std::string service_timeline_json(const ServiceResult& res);
+
+}  // namespace prr::exp

@@ -109,6 +109,8 @@ void perfetto_append_process(std::string& out,
       case TraceType::kInvariant:
       case TraceType::kLostRetransmit:
       case TraceType::kSackReneg:
+      case TraceType::kServiceAlert:
+      case TraceType::kServiceDecision:
         instant_event(out, pid, r, to_string(r.type));
         break;
       case TraceType::kTransmit:

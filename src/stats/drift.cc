@@ -1,0 +1,78 @@
+#include "stats/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prr::stats {
+
+namespace {
+// A flat calibration window (all samples identical) still needs a
+// usable scale: fall back to a small absolute floor so a later genuine
+// shift registers as a huge z rather than a division by zero.
+constexpr double kStdFloor = 1e-12;
+
+double welford_std(uint64_t n, double m2) {
+  if (n < 2) return kStdFloor;
+  return std::max(kStdFloor, std::sqrt(m2 / static_cast<double>(n - 1)));
+}
+}  // namespace
+
+double Cusum::baseline_mean() const { return mean_; }
+double Cusum::baseline_std() const { return welford_std(std::min(n_, static_cast<uint64_t>(cfg_.calibration)), m2_); }
+
+bool Cusum::observe(double x) {
+  if (!calibrated()) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    return false;
+  }
+  ++n_;
+  const double z = (x - mean_) / baseline_std();
+  s_pos_ = std::max(0.0, s_pos_ + z - cfg_.k);
+  s_neg_ = std::max(0.0, s_neg_ - z - cfg_.k);
+  if (s_pos_ > cfg_.h || s_neg_ > cfg_.h) {
+    ++alarms_;
+    stat_at_alarm_ = stat();
+    s_pos_ = 0;
+    s_neg_ = 0;
+    return true;
+  }
+  return false;
+}
+
+double PageHinkley::baseline_mean() const { return mean_; }
+double PageHinkley::baseline_std() const { return welford_std(std::min(n_, static_cast<uint64_t>(cfg_.calibration)), m2_); }
+
+double PageHinkley::stat() const {
+  return std::max(m_up_ - min_up_, max_down_ - m_down_);
+}
+
+bool PageHinkley::observe(double x) {
+  if (!calibrated()) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    return false;
+  }
+  ++n_;
+  const double z = (x - mean_) / baseline_std();
+  m_up_ += z - cfg_.delta;
+  min_up_ = std::min(min_up_, m_up_);
+  m_down_ += z + cfg_.delta;
+  max_down_ = std::max(max_down_, m_down_);
+  if (m_up_ - min_up_ > cfg_.lambda || max_down_ - m_down_ > cfg_.lambda) {
+    ++alarms_;
+    stat_at_alarm_ = stat();
+    m_up_ = 0;
+    min_up_ = 0;
+    m_down_ = 0;
+    max_down_ = 0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace prr::stats

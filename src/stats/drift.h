@@ -1,0 +1,110 @@
+// Drift detectors for the live experiment service (DESIGN.md §13):
+// CUSUM and Page-Hinkley over a scalar per-window series (mean response
+// latency, retransmission rate, post-recovery cwnd). Both standardize
+// against a baseline estimated from a calibration prefix — the first
+// `calibration` observations, frozen thereafter — so thresholds are in
+// sigma units and one default works across series measured in
+// fractions, milliseconds, and bytes.
+//
+// CUSUM (two-sided, tabular): with z_t = (x_t - mu0)/sigma0,
+//   S+_t = max(0, S+_{t-1} + z_t - k)     S-_t = max(0, S-_{t-1} - z_t - k)
+// and an alarm when either exceeds h. k (the allowance) sets the
+// smallest shift considered interesting (~half of it, in sigmas); h
+// trades detection delay against false-alarm rate (ARL roughly e^{2kh}
+// for small k). After an alarm both statistics reset, so a persisting
+// shift re-alarms after another detection delay rather than every
+// window.
+//
+// Page-Hinkley: the classic cumulative-deviation form on the same
+// standardized series; alarm when the deviation from the running
+// extremum exceeds lambda.
+//
+// Deterministic: pure double arithmetic in observation order.
+#pragma once
+
+#include <cstdint>
+
+namespace prr::stats {
+
+class Cusum {
+ public:
+  struct Config {
+    double k = 0.5;        // allowance, in baseline sigmas
+    double h = 8.0;        // decision threshold, in baseline sigmas
+    int calibration = 30;  // baseline window (no alarms during it)
+  };
+
+  Cusum() = default;
+  explicit Cusum(Config cfg) : cfg_(cfg) {}
+
+  // Feeds one observation; returns true when this observation fires an
+  // alarm (never during calibration).
+  bool observe(double x);
+
+  bool calibrated() const { return n_ >= static_cast<uint64_t>(cfg_.calibration); }
+  double baseline_mean() const;
+  double baseline_std() const;
+  double s_pos() const { return s_pos_; }
+  double s_neg() const { return s_neg_; }
+  // Detection statistic currently closest to the threshold.
+  double stat() const { return s_pos_ > s_neg_ ? s_pos_ : s_neg_; }
+  // Value the statistic reached when the most recent alarm fired (the
+  // running stat() resets to 0 on alarm; alert records want the peak).
+  double stat_at_alarm() const { return stat_at_alarm_; }
+  uint64_t alarms() const { return alarms_; }
+  uint64_t n() const { return n_; }
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  uint64_t n_ = 0;
+  // Calibration accumulators (Welford), frozen once n_ reaches the
+  // calibration count.
+  double mean_ = 0;
+  double m2_ = 0;
+  double s_pos_ = 0;
+  double s_neg_ = 0;
+  double stat_at_alarm_ = 0;
+  uint64_t alarms_ = 0;
+};
+
+class PageHinkley {
+ public:
+  struct Config {
+    double delta = 0.05;   // per-step tolerance, in baseline sigmas
+    double lambda = 10.0;  // decision threshold, in baseline sigmas
+    int calibration = 30;
+  };
+
+  PageHinkley() = default;
+  explicit PageHinkley(Config cfg) : cfg_(cfg) {}
+
+  bool observe(double x);
+
+  bool calibrated() const { return n_ >= static_cast<uint64_t>(cfg_.calibration); }
+  double baseline_mean() const;
+  double baseline_std() const;
+  // Deviation of the cumulative sum from its running extremum, for the
+  // direction currently closest to alarming.
+  double stat() const;
+  double stat_at_alarm() const { return stat_at_alarm_; }
+  uint64_t alarms() const { return alarms_; }
+  uint64_t n() const { return n_; }
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double m_up_ = 0;    // cumulative (z - delta); alarms on increase
+  double min_up_ = 0;
+  double m_down_ = 0;  // cumulative (z + delta); alarms on decrease
+  double max_down_ = 0;
+  double stat_at_alarm_ = 0;
+  uint64_t alarms_ = 0;
+};
+
+}  // namespace prr::stats

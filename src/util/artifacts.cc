@@ -1,0 +1,20 @@
+#include "util/artifacts.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace prr::util {
+
+std::string artifact_dir() {
+  const char* env = std::getenv("PRR_ARTIFACT_DIR");
+  std::string dir = (env != nullptr && env[0] != '\0') ? env : "artifacts";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  return dir;
+}
+
+std::string artifact_path(const std::string& filename) {
+  return artifact_dir() + "/" + filename;
+}
+
+}  // namespace prr::util

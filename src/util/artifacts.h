@@ -1,0 +1,18 @@
+// Artifact routing for example/bench binaries that write files (traces,
+// JSONL streams, diff dumps). Everything goes under one directory —
+// $PRR_ARTIFACT_DIR when set, else ./artifacts — created on first use,
+// so running tools from a source checkout never litters the repo root
+// (CI's clean-tree check enforces this after the bench smoke).
+#pragma once
+
+#include <string>
+
+namespace prr::util {
+
+// The artifact directory (no trailing slash), created if missing.
+std::string artifact_dir();
+
+// artifact_dir() + "/" + filename.
+std::string artifact_path(const std::string& filename);
+
+}  // namespace prr::util

@@ -1,0 +1,76 @@
+#include "workload/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prr::workload {
+
+double DiurnalCurve::at(sim::Time t) const {
+  if (amplitude == 0.0 || period.is_zero()) return 1.0;
+  constexpr double kTau = 6.283185307179586476925286766559;
+  const double cycles = t / period + phase;
+  return std::max(0.0, 1.0 + amplitude * std::sin(kTau * cycles));
+}
+
+ArrivalProcess::ArrivalProcess(Config cfg, sim::Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  peak_rate_ = cfg_.rate_per_sec * (1.0 + std::max(0.0, cfg_.diurnal.amplitude));
+  if (peak_rate_ <= 0) peak_rate_ = 1e-9;
+}
+
+sim::Time ArrivalProcess::next() {
+  if (cfg_.rate_per_sec <= 0) {
+    // A silent process never arrives; advance far enough that any
+    // horizon/connection cap terminates the caller's window loop.
+    t_ += sim::Time::seconds(86400.0 * 365);
+    return t_;
+  }
+  // Thinning (Lewis & Shedler): homogeneous candidates at the peak
+  // rate, each kept with probability rate(t)/peak.
+  for (;;) {
+    const double gap_s = rng_.exponential(1.0 / peak_rate_);
+    t_ += sim::Time::seconds(gap_s);
+    const double accept =
+        cfg_.rate_per_sec * cfg_.diurnal.at(t_) / peak_rate_;
+    if (rng_.bernoulli(accept)) return t_;
+  }
+}
+
+RegimeShift RegimeSchedule::active_at(sim::Time t) const {
+  RegimeShift active;  // identity before the first shift
+  for (const RegimeShift& s : shifts) {
+    if (s.at <= t) active = s;
+  }
+  return active;
+}
+
+void RegimePopulation::apply(const RegimeShift& regime, ConnectionSample& s) {
+  if (regime.is_identity()) return;
+  if (regime.loss_scale != 1.0) {
+    s.loss.p_good_to_bad =
+        std::min(1.0, s.loss.p_good_to_bad * regime.loss_scale);
+    s.loss.loss_in_good =
+        std::min(1.0, s.loss.loss_in_good * regime.loss_scale);
+  }
+  if (regime.rtt_scale != 1.0) {
+    s.rtt = s.rtt * regime.rtt_scale;
+  }
+  if (regime.bandwidth_scale != 1.0) {
+    s.bandwidth = util::DataRate::bps(static_cast<int64_t>(
+        static_cast<double>(s.bandwidth.bits_per_second()) *
+        regime.bandwidth_scale));
+  }
+}
+
+ConnectionSample RegimePopulation::sample(sim::Rng rng) const {
+  ConnectionSample s = base_.sample(rng);
+  apply(current_, s);
+  return s;
+}
+
+void RegimePopulation::sample_into(sim::Rng rng, ConnectionSample& out) const {
+  base_.sample_into(rng, out);
+  apply(current_, out);
+}
+
+}  // namespace prr::workload

@@ -1,0 +1,167 @@
+// Calibration tests for the drift detectors (stats/drift.h): no false
+// alarms on a stationary series at the default threshold, bounded
+// detection delay on a step shift, and the alert-record bookkeeping
+// (stat_at_alarm, re-arming) the experiment service relies on.
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "stats/drift.h"
+
+using namespace prr;
+
+namespace {
+
+TEST(Cusum, StationaryFalseAlarmRateIsBounded) {
+  // In-control ARL at k=0.5, h=8 is ~1e4 (Siegmund), so 10 series x
+  // 1400 post-calibration observations should see at most a couple of
+  // alarms even accounting for baseline-estimation error, and most
+  // series should be completely clean.
+  stats::Cusum::Config cfg;
+  cfg.calibration = 100;
+  uint64_t total = 0;
+  int clean_series = 0;
+  for (uint64_t series = 0; series < 10; ++series) {
+    sim::Rng rng = sim::Rng(314).fork(series);
+    stats::Cusum cusum(cfg);
+    for (int i = 0; i < 1500; ++i) cusum.observe(rng.normal(10.0, 2.0));
+    total += cusum.alarms();
+    if (cusum.alarms() == 0) ++clean_series;
+  }
+  EXPECT_LE(total, 4u) << "stationary false-alarm rate way above ARL";
+  EXPECT_GE(clean_series, 7);
+}
+
+TEST(Cusum, ServiceDefaultsRarelyFalseAlarmOverASoakHorizon) {
+  // The service's defaults (calibration 30, h 8) trade baseline
+  // precision for fast arming; over a 2-simulated-day soak horizon
+  // (~300 snapshot windows) a stationary series must alarm at most
+  // once in a while — not repeatedly.
+  uint64_t total = 0;
+  for (uint64_t series = 0; series < 5; ++series) {
+    sim::Rng rng = sim::Rng(628).fork(series);
+    stats::Cusum cusum;
+    for (int i = 0; i < 300; ++i) cusum.observe(rng.normal(0.02, 0.005));
+    EXPECT_LE(cusum.alarms(), 2u);
+    total += cusum.alarms();
+  }
+  EXPECT_LE(total, 3u);
+}
+
+TEST(Cusum, NeverAlarmsDuringCalibration) {
+  // The baseline is learned from the calibration prefix; even a wild
+  // prefix must not alarm before the detector is calibrated.
+  stats::Cusum::Config cfg;
+  cfg.calibration = 30;
+  stats::Cusum cusum(cfg);
+  sim::Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_FALSE(cusum.observe(rng.normal(0.0, 1.0) * (i % 7 + 1)));
+    EXPECT_EQ(cusum.alarms(), 0u);
+  }
+  EXPECT_TRUE(cusum.calibrated());
+}
+
+TEST(Cusum, DetectsStepShiftWithBoundedDelay) {
+  // A 3-sigma step shift after a clean stationary stretch must alarm
+  // within a modest number of observations (drift of z - k = 2.5 per
+  // step toward h = 8 => expected delay ~4; allow noise headroom).
+  constexpr int kShiftAt = 150;
+  stats::Cusum::Config cfg;
+  cfg.calibration = 100;
+  for (uint64_t series = 0; series < 5; ++series) {
+    sim::Rng rng = sim::Rng(2718).fork(series);
+    stats::Cusum cusum(cfg);
+    int alarm_at = -1;
+    for (int i = 0; i < kShiftAt + 40; ++i) {
+      const double mu = i < kShiftAt ? 5.0 : 5.0 + 3.0 * 1.5;
+      if (cusum.observe(rng.normal(mu, 1.5)) && alarm_at < 0) {
+        alarm_at = i;
+      }
+    }
+    ASSERT_GE(alarm_at, kShiftAt) << "alarmed before the shift";
+    EXPECT_LE(alarm_at, kShiftAt + 20) << "detection delay unbounded";
+    // The alert record wants the peak statistic, not the post-reset 0.
+    EXPECT_GE(cusum.stat_at_alarm(), cusum.config().h);
+    // Baseline was frozen on the calibration prefix, not polluted by
+    // the shifted tail.
+    EXPECT_NEAR(cusum.baseline_mean(), 5.0, 1.0);
+  }
+}
+
+TEST(Cusum, RearmsAfterAlarmOnPersistingShift) {
+  // After an alarm the statistics reset; a persisting shift should
+  // alarm again after another detection delay, not every window.
+  sim::Rng rng(4242);
+  stats::Cusum cusum;
+  for (int i = 0; i < 100; ++i) cusum.observe(rng.normal(0.0, 1.0));
+  uint64_t fired_on = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (cusum.observe(rng.normal(4.0, 1.0))) ++fired_on;
+  }
+  EXPECT_GE(cusum.alarms(), 2u);
+  EXPECT_EQ(fired_on, cusum.alarms());
+  EXPECT_LT(fired_on, 30u) << "alarming on nearly every observation";
+}
+
+TEST(Cusum, DetectsDownwardShiftToo) {
+  sim::Rng rng(555);
+  stats::Cusum cusum;
+  for (int i = 0; i < 100; ++i) cusum.observe(rng.normal(20.0, 3.0));
+  bool fired = false;
+  for (int i = 0; i < 40 && !fired; ++i) {
+    fired = cusum.observe(rng.normal(11.0, 3.0));
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(PageHinkley, StationaryFalseAlarmRateIsBounded) {
+  // Page-Hinkley accumulates (z - delta) forever, so its false-alarm
+  // behavior is governed by delta vs the residual baseline-mean error.
+  // With a 100-sample calibration (se ~0.1 sigma) delta = 0.5
+  // dominates the bias and the statistic stays pinned near its
+  // extremum; an isolated noise excursion may still cross lambda.
+  stats::PageHinkley::Config cfg;
+  cfg.delta = 0.5;
+  cfg.calibration = 100;
+  uint64_t total = 0;
+  for (uint64_t series = 0; series < 10; ++series) {
+    sim::Rng rng = sim::Rng(161).fork(series);
+    stats::PageHinkley ph(cfg);
+    for (int i = 0; i < 1500; ++i) ph.observe(rng.normal(-3.0, 0.5));
+    total += ph.alarms();
+  }
+  EXPECT_LE(total, 2u);
+}
+
+TEST(PageHinkley, DetectsStepShiftWithBoundedDelay) {
+  constexpr int kShiftAt = 150;
+  stats::PageHinkley::Config cfg;
+  cfg.delta = 0.5;
+  cfg.calibration = 100;
+  for (uint64_t series = 0; series < 5; ++series) {
+    sim::Rng rng = sim::Rng(99).fork(series);
+    stats::PageHinkley ph(cfg);
+    int alarm_at = -1;
+    for (int i = 0; i < kShiftAt + 60; ++i) {
+      const double mu = i < kShiftAt ? 0.0 : 2.0;
+      if (ph.observe(rng.normal(mu, 1.0)) && alarm_at < 0) alarm_at = i;
+    }
+    ASSERT_GE(alarm_at, kShiftAt);
+    EXPECT_LE(alarm_at, kShiftAt + 30);
+    EXPECT_GE(ph.stat_at_alarm(), ph.config().lambda);
+  }
+}
+
+TEST(DriftDetectors, DeterministicReplay) {
+  sim::Rng rng_a(31), rng_b(31);
+  stats::Cusum a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double xa = rng_a.normal(1.0, 1.0);
+    const double xb = rng_b.normal(1.0, 1.0);
+    ASSERT_EQ(a.observe(xa), b.observe(xb));
+    ASSERT_EQ(a.stat(), b.stat());
+    ASSERT_EQ(a.alarms(), b.alarms());
+  }
+}
+
+}  // namespace

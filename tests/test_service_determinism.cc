@@ -1,0 +1,87 @@
+// The service determinism contract (DESIGN.md §13): for a given seed
+// and snapshot cadence, the streaming scoreboard, the decision log, the
+// alert log and the Perfetto timeline are BIT-identical at any
+// worker-thread count, with per-connection tracing on or off. This is
+// what lets CI diff nightly soak digests across thread counts and call
+// any difference a bug.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/service.h"
+#include "exp/service_timeline.h"
+#include "workload/web_workload.h"
+
+using namespace prr;
+
+namespace {
+
+struct Streams {
+  std::string scoreboard;
+  std::string decisions;
+  std::string alerts;
+  std::string timeline;
+};
+
+Streams run_service(int threads, bool trace) {
+  exp::ServiceConfig cfg;
+  cfg.arms = {exp::ArmConfig::linux_arm(), exp::ArmConfig::rfc3517_arm(),
+              exp::ArmConfig::prr_arm()};
+  cfg.control_arm = 0;
+  cfg.seed = 7;
+  cfg.arrivals.rate_per_sec = 30.0;
+  cfg.arrivals.diurnal.amplitude = 0.4;
+  cfg.snapshot_every = sim::Time::seconds(60);
+  cfg.max_connections = 3000;
+  cfg.run.threads = threads;
+  cfg.run.trace = trace;
+  // A mid-run shift with a twitchy detector so the alert path (and its
+  // quarantine bookkeeping) is part of what must be invariant.
+  cfg.cusum.calibration = 3;
+  cfg.cusum.h = 4.0;
+  workload::RegimeShift shift;
+  shift.at = sim::Time::seconds(60);
+  shift.loss_scale = 6.0;
+  cfg.regimes.shifts.push_back(shift);
+
+  workload::WebWorkload pop;
+  const exp::ServiceResult res = exp::ExperimentService(pop, cfg).run();
+  return {res.scoreboard_jsonl(), res.decision_log_jsonl(),
+          res.alert_log_jsonl(), exp::service_timeline_json(res)};
+}
+
+TEST(ServiceDeterminism, StreamsBitIdenticalAcrossThreadCounts) {
+  const Streams serial = run_service(1, false);
+  ASSERT_FALSE(serial.scoreboard.empty());
+  for (int threads : {4, 8}) {
+    const Streams parallel = run_service(threads, false);
+    EXPECT_EQ(serial.scoreboard, parallel.scoreboard)
+        << "scoreboard diverges at " << threads << " threads";
+    EXPECT_EQ(serial.decisions, parallel.decisions)
+        << "decision log diverges at " << threads << " threads";
+    EXPECT_EQ(serial.alerts, parallel.alerts)
+        << "alert log diverges at " << threads << " threads";
+    EXPECT_EQ(serial.timeline, parallel.timeline)
+        << "timeline diverges at " << threads << " threads";
+  }
+}
+
+TEST(ServiceDeterminism, StreamsInvariantUnderTracing) {
+  const Streams off = run_service(4, false);
+  const Streams on = run_service(4, true);
+  EXPECT_EQ(off.scoreboard, on.scoreboard);
+  EXPECT_EQ(off.decisions, on.decisions);
+  EXPECT_EQ(off.alerts, on.alerts);
+  EXPECT_EQ(off.timeline, on.timeline);
+}
+
+TEST(ServiceDeterminism, RepeatedRunsAreBitIdentical) {
+  const Streams a = run_service(2, false);
+  const Streams b = run_service(2, false);
+  EXPECT_EQ(a.scoreboard, b.scoreboard);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.alerts, b.alerts);
+  EXPECT_EQ(a.timeline, b.timeline);
+}
+
+}  // namespace
