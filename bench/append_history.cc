@@ -19,6 +19,7 @@
 
 #include "host_fingerprint.h"
 #include "obs/json.h"
+#include "util/checked_write.h"
 
 using namespace prr;
 
@@ -100,22 +101,14 @@ int main() {
     return 1;
   }
 
-  std::string line = "{\"sha\":" + obs::json_quote(sha) +
-                     ",\"machine\":" + bench::host_fingerprint_json(fp) +
-                     ",\"sweep\":" + (sweep_ok ? minify(sweep) : "null") +
-                     ",\"trace\":" + (trace_ok ? minify(trace) : "null") +
-                     "}\n";
+  const std::string line =
+      "{\"sha\":" + obs::json_quote(sha) +
+      ",\"machine\":" + bench::host_fingerprint_json(fp) +
+      ",\"sweep\":" + (sweep_ok ? minify(sweep) : "null") +
+      ",\"trace\":" + (trace_ok ? minify(trace) : "null") + "}\n";
 
-  std::FILE* out = std::fopen(hist_path.c_str(), "ab");
-  if (!out) {
-    std::fprintf(stderr, "append_history: cannot open %s for append\n",
-                 hist_path.c_str());
-    return 1;
-  }
-  const bool wrote =
-      std::fwrite(line.data(), 1, line.size(), out) == line.size();
-  if (std::fclose(out) != 0 || !wrote) {
-    // A torn append corrupts the whole JSONL history; fail loudly.
+  // A torn append corrupts the whole JSONL history; fail loudly.
+  if (!util::checked_append_line(hist_path, line)) {
     std::fprintf(stderr, "append_history: short write to %s\n",
                  hist_path.c_str());
     return 1;

@@ -44,6 +44,7 @@
 
 #include "bench_common.h"
 #include "host_fingerprint.h"
+#include "util/checked_write.h"
 #include "workload/web_workload.h"
 
 using namespace prr;
@@ -157,33 +158,36 @@ uint64_t peak_rss_bytes() {
 void write_shard_json(const std::string& path, uint64_t shard,
                       uint64_t first, int connections,
                       const std::vector<ArmAgg>& aggs) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) _exit(3);
-  std::fprintf(f,
-               "{\"shard\": %" PRIu64 ", \"first\": %" PRIu64
-               ", \"connections\": %d, \"arms\": [\n",
-               shard, first, connections);
+  std::string body;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"shard\": %" PRIu64 ", \"first\": %" PRIu64
+                ", \"connections\": %d, \"arms\": [\n",
+                shard, first, connections);
+  body += buf;
   for (std::size_t i = 0; i < aggs.size(); ++i) {
     const ArmAgg& a = aggs[i];
-    std::fprintf(f,
-                 "  {\"data_segments_sent\": %" PRIu64
-                 ", \"retransmits_total\": %" PRIu64
-                 ", \"timeouts_total\": %" PRIu64
-                 ", \"workload_bytes\": %" PRIu64
-                 ", \"recovery_count\": %" PRIu64
-                 ", \"latency_count\": %" PRIu64
-                 ", \"transmit_time_ns\": %" PRId64 "}%s\n",
-                 a.data_segments_sent, a.retransmits_total,
-                 a.timeouts_total, a.workload_bytes, a.recovery_count,
-                 a.latency_count, a.transmit_time_ns,
-                 i + 1 < aggs.size() ? "," : "");
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"data_segments_sent\": %" PRIu64
+                  ", \"retransmits_total\": %" PRIu64
+                  ", \"timeouts_total\": %" PRIu64
+                  ", \"workload_bytes\": %" PRIu64
+                  ", \"recovery_count\": %" PRIu64
+                  ", \"latency_count\": %" PRIu64
+                  ", \"transmit_time_ns\": %" PRId64 "}%s\n",
+                  a.data_segments_sent, a.retransmits_total,
+                  a.timeouts_total, a.workload_bytes, a.recovery_count,
+                  a.latency_count, a.transmit_time_ns,
+                  i + 1 < aggs.size() ? "," : "");
+    body += buf;
   }
-  std::fprintf(f, "], \"self_digest\": \"0x%016" PRIx64 "\"}\n",
-               fingerprint(aggs));
+  std::snprintf(buf, sizeof(buf),
+                "], \"self_digest\": \"0x%016" PRIx64 "\"}\n",
+                fingerprint(aggs));
+  body += buf;
   // The parent's digest check catches torn content, but exit nonzero
   // here too so the failure is attributed to the writer.
-  const bool torn = std::ferror(f) != 0;
-  if (std::fclose(f) != 0 || torn) _exit(3);
+  if (!util::checked_write_json(path, body)) _exit(3);
 }
 
 std::string slurp(const std::string& path) {
@@ -441,17 +445,14 @@ int main() {
                  rss_mb, budget_mb);
   }
 
-  std::FILE* f = std::fopen(json_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    return 1;
-  }
   // speedup_nulled_reason states, in the artifact itself, why every
   // speedup_vs_serial below is null instead of leaving readers to guess
   // (the historical JSON showed hardware_concurrency: 1 with bare
   // nulls). The machine object is the fingerprint perf_ratchet keys
   // comparisons on.
-  std::fprintf(f,
+  std::string body;
+  char line[1024];
+  std::snprintf(line, sizeof(line),
                "{\n"
                "  \"benchmark\": \"sweep_scaling\",\n"
                "  \"connections\": %d,\n"
@@ -486,24 +487,27 @@ int main() {
                serial_conns_per_sec, digests_match ? "true" : "false",
                rss_mb, bytes_per_conn, procs,
                fork_merge_identical ? "true" : "false");
+  body += line;
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     // On a 1-core machine speedup_vs_serial is emitted as null rather
     // than a number nobody should read as a scaling claim.
-    std::fprintf(f,
-                 "    {\"threads\": %d, \"seconds\": %.4f, "
-                 "\"conns_per_sec\": %.1f, \"speedup_vs_serial\": ",
-                 p.threads, p.seconds, p.conns_per_sec);
+    std::snprintf(line, sizeof(line),
+                  "    {\"threads\": %d, \"seconds\": %.4f, "
+                  "\"conns_per_sec\": %.1f, \"speedup_vs_serial\": ",
+                  p.threads, p.seconds, p.conns_per_sec);
+    body += line;
     if (speedup_meaningful) {
-      std::fprintf(f, "%.3f}%s\n", p.speedup,
-                   i + 1 < points.size() ? "," : "");
+      std::snprintf(line, sizeof(line), "%.3f}%s\n", p.speedup,
+                    i + 1 < points.size() ? "," : "");
     } else {
-      std::fprintf(f, "null}%s\n", i + 1 < points.size() ? "," : "");
+      std::snprintf(line, sizeof(line), "null}%s\n",
+                    i + 1 < points.size() ? "," : "");
     }
+    body += line;
   }
-  std::fprintf(f, "  ]\n}\n");
-  const bool torn = std::ferror(f) != 0;
-  if (std::fclose(f) != 0 || torn) {
+  body += "  ]\n}\n";
+  if (!util::checked_write_json(json_path, body)) {
     std::fprintf(stderr, "short write to %s\n", json_path.c_str());
     return 1;
   }

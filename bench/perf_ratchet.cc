@@ -13,11 +13,22 @@
 // mysteriously vacuous pass. A machine with no usable history passes
 // vacuously — the first recorded run becomes its bar.
 //
+// The ratchet also enforces the trace-store overhead budget: when
+// BENCH_TRACE.json is present, its store_sweep_overhead_pct (the sweep
+// tax of capture under the headline "sample=64,full=timeout" policy,
+// measured separately from ring-write overhead) must stay at or below
+// RATCHET_STORE_MAX_PCT. This is an absolute budget from DESIGN.md §14,
+// not a relative ratchet — the acceptance bar is "<10% overhead", not
+// "no worse than the best run".
+//
 // Environment:
-//   BENCH_SWEEP_JSON     current sweep result (default "BENCH_SWEEP.json")
-//   BENCH_HISTORY_JSONL  history to ratchet against
-//                        (default "BENCH_HISTORY.jsonl")
-//   RATCHET_TOLERANCE    allowed fractional regression (default 0.10)
+//   BENCH_SWEEP_JSON      current sweep result (default "BENCH_SWEEP.json")
+//   BENCH_TRACE_JSON      current trace/store result
+//                         (default "BENCH_TRACE.json"; missing = skip)
+//   BENCH_HISTORY_JSONL   history to ratchet against
+//                         (default "BENCH_HISTORY.jsonl")
+//   RATCHET_TOLERANCE     allowed fractional regression (default 0.10)
+//   RATCHET_STORE_MAX_PCT store overhead budget in percent (default 10)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -56,6 +67,45 @@ std::string find_string(const std::string& s, const char* key,
   const std::size_t end = s.find('"', start);
   if (end == std::string::npos) return {};
   return s.substr(start, end - start);
+}
+
+// Absolute budget on the trace store's sweep overhead (DESIGN.md §14):
+// BENCH_TRACE.json's store_sweep_overhead_pct must not exceed
+// RATCHET_STORE_MAX_PCT. Returns false only on a budget violation; a
+// missing file or a pre-store BENCH_TRACE.json (no field) skips.
+bool store_budget_ok() {
+  const char* trace_env = std::getenv("BENCH_TRACE_JSON");
+  const char* max_env = std::getenv("RATCHET_STORE_MAX_PCT");
+  const std::string trace_path = trace_env ? trace_env : "BENCH_TRACE.json";
+  const double max_pct = max_env ? std::atof(max_env) : 10.0;
+
+  const std::string trace = slurp(trace_path);
+  if (trace.empty()) {
+    std::printf("perf_ratchet: no %s — store overhead budget skipped\n",
+                trace_path.c_str());
+    return true;
+  }
+  const std::size_t at = trace.find("\"store_sweep_overhead_pct\":");
+  if (at == std::string::npos) {
+    std::printf("perf_ratchet: %s predates the trace store — store "
+                "overhead budget skipped\n",
+                trace_path.c_str());
+    return true;
+  }
+  // find_number returns -1 for "absent", but a measured overhead can
+  // legitimately be slightly negative (timing noise) — read in place.
+  const double pct =
+      std::atof(trace.c_str() + at + sizeof("\"store_sweep_overhead_pct\":") - 1);
+  const bool ok = pct <= max_pct;
+  std::printf("perf_ratchet: store overhead %.2f%% vs %.0f%% budget — %s\n",
+              pct, max_pct, ok ? "PASS" : "FAIL");
+  if (!ok) {
+    std::fprintf(stderr,
+                 "perf_ratchet: trace-store capture costs %.2f%% of the "
+                 "sweep (> %.0f%% budget, RATCHET_STORE_MAX_PCT)\n",
+                 pct, max_pct);
+  }
+  return ok;
 }
 
 }  // namespace
@@ -154,7 +204,7 @@ int main() {
         "the bar (PASS)\n",
         fp.host.c_str(), hist_path.c_str(), refused,
         refused == 1 ? "y" : "ies", current);
-    return 0;
+    return store_budget_ok() ? 0 : 1;
   }
   if (refused > 0) {
     std::printf(
@@ -164,7 +214,7 @@ int main() {
   }
 
   const double floor = best * (1.0 - tolerance);
-  const bool ok = current >= floor;
+  bool ok = current >= floor;
   std::printf(
       "perf_ratchet: current %.1f conns/sec vs best %.1f over %d "
       "same-host run%s (floor %.1f at %.0f%% tolerance) — %s\n",
@@ -176,5 +226,6 @@ int main() {
                  "(> %.0f%% allowed)\n",
                  (1.0 - current / best) * 100.0, tolerance * 100.0);
   }
+  if (!store_budget_ok()) ok = false;
   return ok ? 0 : 1;
 }

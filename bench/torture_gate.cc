@@ -25,10 +25,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <string>
 
 #include "torture/campaign.h"
+#include "util/checked_write.h"
 #include "workload/web_workload.h"
 
 using namespace prr;
@@ -79,11 +79,8 @@ int main() {
     const std::string dir(out_dir);
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
-    {
-      std::ofstream f(dir + "/summary.json");
-      f << summary << std::flush;
-      if (!f) std::printf("WARN: short write to %s/summary.json\n",
-                          dir.c_str());
+    if (!util::checked_write_json(dir + "/summary.json", summary)) {
+      std::printf("WARN: short write to %s/summary.json\n", dir.c_str());
     }
     for (const torture::CampaignFailure& fail : result.failures) {
       std::string err;
@@ -93,9 +90,9 @@ int main() {
       }
       if (!fail.trace_json.empty()) {
         const std::string tpath = dir + "/" + fail.repro.name + ".trace.json";
-        std::ofstream f(tpath);
-        f << fail.trace_json << std::flush;
-        if (!f) std::printf("WARN: short write to %s\n", tpath.c_str());
+        if (!util::checked_write_json(tpath, fail.trace_json)) {
+          std::printf("WARN: short write to %s\n", tpath.c_str());
+        }
       }
     }
     std::printf("artifacts written to %s\n", dir.c_str());

@@ -20,6 +20,11 @@
 //       (prr_diff_connID.json, arm A = pid 1, arm B = pid 2) with FIRST
 //       DIVERGENCE markers. Drop it into https://ui.perfetto.dev.
 //
+// `episodes` and `dump` also take --store FILE (a .prrstore written by a
+// captured sweep, DESIGN.md §14): the same analyses run offline from the
+// persisted records — no re-simulation, and no tracing requirement in
+// the inspecting binary.
+//
 // Arms: prr (default), rfc3517, linux. Defaults: 2000 connections,
 // seed 42 — matching exp::RunOptions, so episode counts line up with
 // the other examples out of the box.
@@ -36,6 +41,8 @@
 #include "exp/experiment.h"
 #include "obs/episodes.h"
 #include "obs/flight_recorder.h"
+#include "obs/query.h"
+#include "obs/store/store_reader.h"
 #include "obs/trace_diff.h"
 #include "util/artifacts.h"
 #include "workload/arrival.h"
@@ -52,6 +59,8 @@ int usage() {
       "  dump --conn ID           one connection's episodes + ACK ledgers\n"
       "  diff --conn ID           first divergent decision between two arms\n"
       "options:\n"
+      "  --store FILE             read a .prrstore instead of re-running\n"
+      "                           (episodes and dump only)\n"
       "  --arm NAME               prr | rfc3517 | linux   (default prr)\n"
       "  --arm-b NAME             second arm for diff     (default rfc3517)\n"
       "  --conn ID                connection id for dump/diff\n"
@@ -87,6 +96,58 @@ bool parse_arm(const char* name, exp::ArmConfig* out) {
     return false;
   }
   return true;
+}
+
+// --- store-backed views (offline: no sweep, no tracing requirement) ---
+
+int cmd_episodes_store(const obs::StoreReader& reader) {
+  std::printf("store: arm %s, seed %llu, policy %s\n\n",
+              reader.meta().arm.c_str(),
+              (unsigned long long)reader.meta().seed,
+              reader.meta().policy.c_str());
+  obs::EpisodeTable table;
+  std::string err;
+  if (!obs::episodes_from_store(reader, obs::QueryFilter{}, &table, &err)) {
+    std::printf("store decode failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("==== arm %s (from store) ====\n%s\n",
+              reader.meta().arm.c_str(), table.summary_string().c_str());
+  return 0;
+}
+
+int cmd_dump_store(const obs::StoreReader& reader, uint64_t conn) {
+  std::printf("connection %llu from store (arm %s, seed %llu)\n",
+              (unsigned long long)conn, reader.meta().arm.c_str(),
+              (unsigned long long)reader.meta().seed);
+  std::vector<obs::TraceRecord> records;
+  if (!reader.read_connection(conn, &records)) {
+    std::printf("store decode failed for conn %llu\n",
+                (unsigned long long)conn);
+    return 1;
+  }
+  if (records.empty()) {
+    std::printf("connection %llu is not in this store — the capture "
+                "policy (%s) did not keep it. Try prr_query info.\n",
+                (unsigned long long)conn, reader.meta().policy.c_str());
+    return 0;
+  }
+  obs::EpisodeBuilder builder(obs::EpisodeBuilder::Options{
+      /*keep_ledgers=*/true});
+  for (const obs::TraceRecord& r : records) builder.on_record(r);
+  builder.finish();
+  std::printf("%zu stored records, %zu episode(s)\n\n", records.size(),
+              builder.episodes().size());
+  if (builder.episodes().empty()) {
+    std::printf("no recovery episodes in the stored slice.\n");
+    return 0;
+  }
+  for (std::size_t i = 0; i < builder.episodes().size(); ++i) {
+    std::printf("---- episode %zu/%zu ----\n%s\n", i + 1,
+                builder.episodes().size(),
+                obs::describe(builder.episodes()[i]).c_str());
+  }
+  return 0;
 }
 
 int cmd_episodes(const workload::Population& pop,
@@ -175,13 +236,8 @@ int cmd_diff(const workload::Population& pop, const exp::RunOptions& opts,
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  if (!obs::trace_compiled_in()) {
-    std::printf("prr_inspect: tracing compiled out (PRR_TRACING=OFF); "
-                "rebuild with tracing to use the inspector.\n");
-    return 0;
-  }
-
   const std::string cmd = argv[1];
+  std::string store_path;
   exp::ArmConfig arm_a = exp::ArmConfig::prr_arm();
   exp::ArmConfig arm_b = exp::ArmConfig::rfc3517_arm();
   int64_t conn = -1;
@@ -201,7 +257,11 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (std::strcmp(argv[i], "--arm") == 0) {
+    if (std::strcmp(argv[i], "--store") == 0) {
+      const char* v = need("--store");
+      if (!v) return 2;
+      store_path = v;
+    } else if (std::strcmp(argv[i], "--arm") == 0) {
       const char* v = need("--arm");
       if (!v || !parse_arm(v, &arm_a)) return 2;
     } else if (std::strcmp(argv[i], "--arm-b") == 0) {
@@ -239,6 +299,37 @@ int main(int argc, char** argv) {
       std::printf("unknown option '%s'\n", argv[i]);
       return usage();
     }
+  }
+
+  // Store-backed paths first: they need neither a sweep nor tracing in
+  // this binary (records were captured by whoever wrote the store).
+  if (!store_path.empty()) {
+    if (cmd == "diff") {
+      std::printf("diff re-runs two arms live and cannot use --store\n");
+      return 2;
+    }
+    obs::StoreReader reader;
+    std::string err;
+    if (!obs::StoreReader::open(store_path, &reader, &err)) {
+      std::printf("prr_inspect: %s\n", err.c_str());
+      return 1;
+    }
+    if (cmd == "episodes") return cmd_episodes_store(reader);
+    if (cmd == "dump") {
+      if (conn < 0) {
+        std::printf("dump requires --conn ID\n");
+        return usage();
+      }
+      return cmd_dump_store(reader, static_cast<uint64_t>(conn));
+    }
+    return usage();
+  }
+
+  if (!obs::trace_compiled_in()) {
+    std::printf("prr_inspect: tracing compiled out (PRR_TRACING=OFF); "
+                "rebuild with tracing (or pass --store) to use the "
+                "inspector.\n");
+    return 0;
   }
 
   workload::WebWorkload base;

@@ -18,15 +18,25 @@
 //  2. A traced experiment sweep. Every arm aggregates a metrics
 //     registry (named counters/gauges/log-scale histograms, merged
 //     deterministically across worker shards); the example writes it as
-//     registry.json.
+//     registry.json — and a columnar trace store (sweep.prr.prrstore)
+//     holding every connection's ring, ready for prr_query.
+//
+// With `--store FILE [--conn ID]` the walkthrough instead runs offline:
+// it opens a .prrstore written by a captured sweep (this example's own
+// Part 2, prr_query sweep, or RunOptions::store_path anywhere) and
+// renders one stored connection — record slice + Perfetto JSON — without
+// re-simulating anything.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/trace_explorer
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "exp/experiment.h"
 #include "net/loss_model.h"
@@ -34,6 +44,7 @@
 #include "obs/instrument.h"
 #include "obs/perfetto.h"
 #include "obs/snapshot.h"
+#include "obs/store/store_reader.h"
 #include "util/artifacts.h"
 #include "sim/simulator.h"
 #include "tcp/connection.h"
@@ -56,9 +67,70 @@ bool write_file(const char* name, const std::string& body,
   return ok;
 }
 
+// --store mode: render one stored connection offline.
+int explore_store(const std::string& path, int64_t want_conn) {
+  obs::StoreReader reader;
+  std::string err;
+  if (!obs::StoreReader::open(path, &reader, &err)) {
+    std::printf("trace_explorer: %s\n", err.c_str());
+    return 1;
+  }
+  const std::vector<uint64_t> conns = reader.connections();
+  if (conns.empty()) {
+    std::printf("store %s holds no connections.\n", path.c_str());
+    return 0;
+  }
+  const uint64_t conn =
+      want_conn >= 0 ? static_cast<uint64_t>(want_conn) : conns.front();
+  std::vector<obs::TraceRecord> records;
+  if (!reader.read_connection(conn, &records)) {
+    std::printf("store decode failed for conn %llu\n",
+                (unsigned long long)conn);
+    return 1;
+  }
+  std::printf("store %s: arm %s, %zu connection(s); showing conn %llu "
+              "(%zu records)\n\n",
+              path.c_str(), reader.meta().arm.c_str(), conns.size(),
+              (unsigned long long)conn, records.size());
+  if (records.empty()) {
+    std::printf("conn %llu is not in this store (policy %s). Stored ids "
+                "start at %llu.\n",
+                (unsigned long long)conn, reader.meta().policy.c_str(),
+                (unsigned long long)conns.front());
+    return 0;
+  }
+  std::size_t shown = 0;
+  for (const obs::TraceRecord& r : records) {
+    if (r.type == obs::TraceType::kWireData ||
+        r.type == obs::TraceType::kWireAck) {
+      continue;
+    }
+    std::printf("  %s\n", obs::describe(r).c_str());
+    if (++shown >= 14) break;
+  }
+  std::string out_path;
+  if (write_file("trace.json", obs::perfetto_trace_json(records),
+                 &out_path)) {
+    std::printf("\nwrote %s from the stored records -- load it at "
+                "https://ui.perfetto.dev.\n",
+                out_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string store_path;
+  int64_t store_conn = -1;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--store") == 0) store_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--conn") == 0) {
+      store_conn = std::atoll(argv[i + 1]);
+    }
+  }
+  if (!store_path.empty()) return explore_store(store_path, store_conn);
+
   // ---- Part 1: one traced lossy transfer -------------------------------
   sim::Simulator sim;
   tcp::ConnectionConfig cfg;
@@ -123,6 +195,10 @@ int main() {
   opts.seed = 20110501;
   opts.threads = 0;  // registry merge is deterministic across shards
   opts.trace = true;
+  // Persist every connection's ring to a columnar trace store alongside
+  // the registry — the sweep-scale counterpart of Part 1's single ring.
+  opts.store_path = util::artifact_path("sweep.prrstore");
+  opts.capture = "all";
   const exp::ArmResult result =
       exp::run_arm(pop, exp::ArmConfig::prr_arm(), opts);
 
@@ -138,5 +214,12 @@ int main() {
                 "histograms for the whole arm.\n",
                 out_path.c_str());
   }
+  const std::string store_file =
+      obs::store_path_for_arm(opts.store_path, "PRR");
+  std::printf("wrote %s -- the whole sweep's trace rings, columnar.\n"
+              "explore it offline:\n"
+              "  ./examples/prr_query info %s\n"
+              "  ./examples/trace_explorer --store %s --conn 7\n",
+              store_file.c_str(), store_file.c_str(), store_file.c_str());
   return 0;
 }

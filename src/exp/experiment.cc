@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -42,6 +43,12 @@ void ArmResult::merge(ArmResult&& shard) {
   invariant_violations += shard.invariant_violations;
   acks_checked += shard.acks_checked;
   registry.merge(shard.registry);
+  store.merge(std::move(shard.store));
+  // Zero for in-run worker shards (only run_arm's writer fills them);
+  // summing makes fork-per-shard process merges total correctly.
+  store_connections += shard.store_connections;
+  store_records += shard.store_records;
+  store_payload_bytes += shard.store_payload_bytes;
 }
 
 double ArmResult::fraction_bytes_in_fast_recovery() const {
@@ -184,6 +191,28 @@ void fold_connection_registry(RegistryHandles& h, const tcp::Metrics& delta,
   }
 }
 
+// Scans a connection's ring for an RTO that fired during fast recovery —
+// the rto_interrupt capture trigger. An enter/exit state machine over the
+// records; only run when the policy has that clause.
+bool ring_saw_rto_interrupt(const obs::FlightRecorder& ring) {
+  bool in_episode = false;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const obs::TraceRecord& r = ring[i];
+    switch (r.type) {
+      case obs::TraceType::kEnterRecovery: in_episode = true; break;
+      case obs::TraceType::kExitRecovery: in_episode = false; break;
+      case obs::TraceType::kUndo:
+        if (r.a == 0) in_episode = false;
+        break;
+      case obs::TraceType::kRtoFired:
+        if (in_episode) return true;
+        break;
+      default: break;
+    }
+  }
+  return false;
+}
+
 // Runs connection `id` of the (pop, arm, opts) experiment — the one place
 // both the sweep and quarantine replay go through, so a replay is the
 // exact computation the original run performed. `result` may be null
@@ -195,14 +224,22 @@ void fold_connection_registry(RegistryHandles& h, const tcp::Metrics& delta,
 // the identical computation. Exceptions are caught here (not in the
 // caller) so the flight-recorder tail can be captured after the stack
 // unwinds.
+//
+// `capture`/`encoder` (both set or both null) enable trace-store capture:
+// at teardown the policy is evaluated over this connection's own deltas
+// and, on keep, the ring is encoded into result->store.
 ConnectionOutcome run_one_connection(const workload::Population& pop,
                                      const ArmConfig& arm,
                                      const RunOptions& opts, uint64_t id,
                                      bool force_check, ArmResult* result,
                                      obs::FlightRecorder* shared_recorder,
-                                     ConnArena* arena) {
+                                     ConnArena* arena,
+                                     const obs::CapturePolicy* capture,
+                                     obs::StoreEncoder* encoder) {
   ConnectionOutcome outcome;
   const bool check = force_check || opts.check_invariants;
+  const bool capturing =
+      capture != nullptr && encoder != nullptr && result != nullptr;
 
   // The recorder outlives the connection (declared before the try) so a
   // throwing connection still leaves a readable tail. Checked runs get
@@ -212,7 +249,7 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
   // allocation each; one-off callers get a local ring.
   std::optional<obs::FlightRecorder> local_recorder;
   obs::FlightRecorder* recorder = nullptr;
-  if (opts.trace || check || opts.collect_episodes) {
+  if (opts.trace || check || opts.collect_episodes || capturing) {
     if (shared_recorder != nullptr) {
       shared_recorder->clear();
       recorder = shared_recorder;
@@ -229,6 +266,11 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
   // returning so a shared per-shard ring never keeps a dangling
   // subscriber across connections.
   obs::EpisodeBuilder episode_builder;
+  // Capture-trigger inputs, filled as the run produces them (declared
+  // before the try so a throwing connection can still be evaluated —
+  // an exploding connection is exactly what triggered capture is for).
+  obs::CaptureStats cap;
+  cap.conn = id;
   const bool collect =
       opts.collect_episodes && recorder != nullptr && result != nullptr;
   if (collect) {
@@ -411,6 +453,14 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
 
       tcp::Metrics delta = result->metrics;
       delta -= metrics_before;
+      if (capturing) {
+        cap.timeouts = delta.timeouts_total;
+        cap.undo_events = delta.undo_events;
+        cap.retransmits = delta.retransmits_total;
+        cap.recovery_ms =
+            static_cast<double>(conn.sender().loss_recovery_time().ms());
+        cap.aborted = conn.sender().aborted();
+      }
       RegistryHandles local_handles;
       RegistryHandles& handles = arena ? arena->handles : local_handles;
       if (handles.owner != &result->registry) {
@@ -444,6 +494,21 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
       (!outcome.violations.empty() || !outcome.exception.empty())) {
     outcome.trace_tail = recorder->tail(opts.trace_tail_records);
   }
+  if (capturing && recorder != nullptr) {
+    cap.invariant_violations = outcome.violations.size();
+    // A thrown connection is interesting by definition: fold it into the
+    // abort trigger so "full=abort" policies keep its tail.
+    if (!outcome.exception.empty()) cap.aborted = true;
+    if (capture->needs_rto_interrupt()) {
+      cap.rto_interrupted_recovery = ring_saw_rto_interrupt(*recorder);
+    }
+    const obs::CaptureDecision d = capture->evaluate(cap);
+    if (d.keep) {
+      encoder->encode(*recorder, id,
+                      d.full ? obs::kBlockFull : obs::kBlockSampled,
+                      &result->store);
+    }
+  }
   return outcome;
 }
 
@@ -453,13 +518,20 @@ ConnectionOutcome run_one_connection(const workload::Population& pop,
 void run_connection_range(const workload::Population& pop,
                           const ArmConfig& arm, const RunOptions& opts,
                           uint64_t begin, uint64_t end, ArmResult& result,
-                          ConnArena* arena) {
+                          ConnArena* arena,
+                          const obs::CapturePolicy* capture,
+                          obs::StoreWriter* store_writer) {
   // One ring per shard, cleared between connections — the sweep's trace
   // cost is the record writes, not a per-connection ring allocation.
   std::optional<obs::FlightRecorder> recorder;
-  if (opts.trace || opts.check_invariants || opts.collect_episodes) {
+  if (opts.trace || opts.check_invariants || opts.collect_episodes ||
+      capture != nullptr) {
     recorder.emplace(opts.trace_ring_records);
   }
+  // One encoder per range: its scratch is reused across connections, so
+  // the capture path allocates nothing once warm.
+  std::optional<obs::StoreEncoder> encoder;
+  if (capture != nullptr) encoder.emplace();
   // The previous range's shard (and its registry) is gone by now, and its
   // successor may occupy the same address — cached instrument handles
   // must not survive the boundary.
@@ -467,7 +539,16 @@ void run_connection_range(const workload::Population& pop,
   for (uint64_t id = begin; id < end; ++id) {
     ConnectionOutcome outcome = run_one_connection(
         pop, arm, opts, id, /*force_check=*/false, &result,
-        recorder ? &*recorder : nullptr, arena);
+        recorder ? &*recorder : nullptr, arena, capture,
+        encoder ? &*encoder : nullptr);
+    // Serial mode streams captured blocks straight to disk, connection by
+    // connection, so the in-memory shard never grows with the sweep.
+    // Worker shards have no writer: their blocks ride in result.store
+    // until the stream fold flushes them in connection-id order.
+    if (store_writer != nullptr && !result.store.empty()) {
+      store_writer->append_shard(result.store);
+      result.store.clear();
+    }
     result.acks_checked += outcome.acks_checked;
     if (outcome.violations.empty() && outcome.exception.empty()) continue;
 
@@ -528,9 +609,10 @@ TracedConnection trace_connection(const workload::Population& pop,
   RunOptions traced = opts;
   traced.trace = true;
   traced.collect_episodes = false;  // the local builder handles episodes
-  ConnectionOutcome outcome =
-      run_one_connection(pop, arm, traced, id, /*force_check=*/false,
-                         /*result=*/nullptr, &recorder, /*arena=*/nullptr);
+  ConnectionOutcome outcome = run_one_connection(
+      pop, arm, traced, id, /*force_check=*/false,
+      /*result=*/nullptr, &recorder, /*arena=*/nullptr,
+      /*capture=*/nullptr, /*encoder=*/nullptr);
   builder.finish();
   out.episodes = builder.episodes();
   out.aborted = outcome.aborted;
@@ -548,11 +630,48 @@ ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,
   const uint64_t first = opts.first_connection;
   const int threads = resolve_threads(opts);
 
+  // Trace store: parse the capture policy up front (a malformed spec must
+  // fail before any connection runs, not after a million of them) and
+  // open the per-arm file. A policy that keeps nothing still produces a
+  // valid header-only store — a cheap run manifest.
+  obs::CapturePolicy policy;
+  std::optional<obs::StoreWriter> writer;
+  const obs::CapturePolicy* capture = nullptr;
+  if (!opts.store_path.empty()) {
+    std::string err;
+    if (!obs::CapturePolicy::parse(opts.capture, &policy, &err)) {
+      throw std::invalid_argument("bad capture policy: " + err);
+    }
+    obs::StoreMeta meta;
+    meta.seed = opts.seed;
+    meta.arm = arm.name;
+    meta.policy = policy.spec();
+    meta.scenario = opts.scenario;
+    writer.emplace();
+    const std::string path = obs::store_path_for_arm(opts.store_path, arm.name);
+    if (!writer->open(path, meta)) {
+      throw std::runtime_error("cannot open trace store " + path);
+    }
+    if (policy.keeps_anything()) capture = &policy;
+  }
+  auto finish_store = [&writer, &result] {
+    if (!writer) return;
+    if (!writer->finish()) {
+      throw std::runtime_error("short write finishing trace store " +
+                               writer->path());
+    }
+    result.store_connections = writer->connections();
+    result.store_records = writer->records();
+    result.store_payload_bytes = writer->payload_bytes();
+  };
+
   if (threads == 1) {
     std::optional<ConnArena> arena;
     if (opts.pool_connections) arena.emplace();
     run_connection_range(pop, arm, opts, first, first + n, result,
-                         arena ? &*arena : nullptr);
+                         arena ? &*arena : nullptr, capture,
+                         writer ? &*writer : nullptr);
+    finish_store();
     return result;
   }
 
@@ -573,9 +692,17 @@ ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,
   const uint64_t window =
       opts.fold_window > 0 ? opts.fold_window
                            : 2 * static_cast<uint64_t>(threads);
+  // The fold callback runs shards in ascending connection-id order, so
+  // flushing each shard's captured blocks to the writer right there
+  // reproduces the serial file byte for byte at any thread count.
   StreamFolder<ArmResult, std::function<void(ArmResult&&)>> folder(
-      num_chunks, window,
-      [&result](ArmResult&& shard) { result.merge(std::move(shard)); });
+      num_chunks, window, [&result, &writer](ArmResult&& shard) {
+        if (writer && !shard.store.empty()) {
+          writer->append_shard(shard.store);
+          shard.store.clear();
+        }
+        result.merge(std::move(shard));
+      });
 
   auto worker = [&] {
     std::optional<ConnArena> arena;
@@ -588,7 +715,8 @@ ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,
       const uint64_t begin = first + c * chunk_size;
       const uint64_t end = std::min(first + n, begin + chunk_size);
       run_connection_range(pop, arm, opts, begin, end, shard,
-                           arena ? &*arena : nullptr);
+                           arena ? &*arena : nullptr, capture,
+                           /*store_writer=*/nullptr);
       folder.submit(c, std::move(shard));
     }
   };
@@ -597,6 +725,7 @@ ArmResult run_arm(const workload::Population& pop, const ArmConfig& arm,
   pool.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& th : pool) th.join();
+  finish_store();
   return result;
 }
 
@@ -632,10 +761,11 @@ ReplayResult Experiment::replay(const ArmConfig& arm,
   if (record.trace_tail_records != 0) {
     opts.trace_tail_records = record.trace_tail_records;
   }
-  ConnectionOutcome outcome =
-      run_one_connection(pop_, arm, opts, record.connection_id,
-                         /*force_check=*/true, /*result=*/nullptr,
-                         /*shared_recorder=*/nullptr, /*arena=*/nullptr);
+  ConnectionOutcome outcome = run_one_connection(
+      pop_, arm, opts, record.connection_id,
+      /*force_check=*/true, /*result=*/nullptr,
+      /*shared_recorder=*/nullptr, /*arena=*/nullptr,
+      /*capture=*/nullptr, /*encoder=*/nullptr);
   replay.violations = std::move(outcome.violations);
   replay.exception = std::move(outcome.exception);
   replay.aborted = outcome.aborted;

@@ -27,6 +27,8 @@
 #include "obs/episodes.h"
 #include "sim/event_queue.h"
 #include "obs/metrics_registry.h"
+#include "obs/store/capture_policy.h"
+#include "obs/store/store_writer.h"
 #include "obs/trace_record.h"
 #include "sim/time.h"
 #include "stats/latency.h"
@@ -154,6 +156,23 @@ struct ArmResult {
   // RunOptions::collect_outcomes).
   std::vector<ConnOutcome> outcomes;
 
+  // Trace-store blocks buffered by a worker shard between the capture
+  // decision and the stream fold (only with RunOptions::store_path). The
+  // fold callback flushes this to the arm's StoreWriter in connection-id
+  // order and clears it, so the file is byte-identical to a serial run;
+  // in the serial path it is flushed after every connection, keeping RSS
+  // flat at any sweep size.
+  obs::StoreShard store;
+
+  // Final accounting of the arm's finished store file (only with
+  // RunOptions::store_path; filled by run_arm after the writer closes).
+  // Callers wanting a post-run summary should read these instead of
+  // reopening the file — StoreReader loads the whole store, which would
+  // undo the flat-RSS write path on a large sweep.
+  uint64_t store_connections = 0;
+  uint64_t store_records = 0;
+  uint64_t store_payload_bytes = 0;
+
   // Named-instrument view of the arm (DESIGN.md §8): per-connection
   // counters/histograms under "tcp." and "exp.", recorder accounting
   // under "obs.trace." (only when tracing ran), wall-clock profiles
@@ -272,6 +291,20 @@ struct RunOptions {
   // out). Episodes are built from a listener on the recorder, so ring
   // wrap cannot cost episodes on long connections.
   bool collect_episodes = false;
+  // --- trace store (DESIGN.md §14) ---
+  // When non-empty, persist selected connections' trace rings to a
+  // columnar store file at obs::store_path_for_arm(store_path, arm.name)
+  // ("out.prrstore" + arm "RFC 3517" → "out.rfc_3517.prrstore"). A
+  // recorder is attached to every connection (like `trace`); at teardown
+  // the capture policy below decides whether the ring is encoded and
+  // appended. Store bytes are a pure function of (population, arm, seed,
+  // policy): byte-identical at any thread count (bench/query_gate).
+  std::string store_path;
+  // CapturePolicy spec (grammar in obs/store/capture_policy.h), e.g.
+  // "all", "sample=64,full=timeout". Parsed by run_arm; a malformed spec
+  // throws std::invalid_argument before any connection runs.
+  std::string capture = "all";
+
   // Wall-clock self-profiling (event-slice and per-ACK cost histograms)
   // into ArmResult::registry under "profile.". Nondeterministic by
   // nature; off by default so the registry stays reproducible.

@@ -76,6 +76,24 @@ class FlightRecorder {
     return ring_[(oldest + i) & mask_];
   }
 
+  // The surviving records as at most two contiguous runs, oldest first.
+  // An unwrapped ring (the common sweep case: capacity sized above the
+  // connection's record count) is a single run, letting bulk readers —
+  // the store encoder — walk raw storage with no per-record rotation
+  // arithmetic and no copy. len[1] == 0 unless the ring wrapped.
+  struct Runs {
+    const TraceRecord* ptr[2];
+    std::size_t len[2];
+  };
+  Runs runs() const {
+    const std::size_t n = size();
+    const std::size_t oldest =
+        static_cast<std::size_t>((next_ - n) & mask_);
+    const std::size_t first =
+        n < ring_.size() - oldest ? n : ring_.size() - oldest;
+    return {{ring_.data() + oldest, ring_.data()}, {first, n - first}};
+  }
+
   // Last min(max_records, size()) records, oldest first. Copies; for
   // post-mortem capture (quarantine artifacts), not the hot path.
   std::vector<TraceRecord> tail(std::size_t max_records) const;

@@ -1,0 +1,309 @@
+#include "obs/store/store_writer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "obs/flight_recorder.h"
+#include "obs/store/store_reader.h"
+
+namespace prr::obs {
+
+std::string store_path_for_arm(const std::string& prefix,
+                               const std::string& arm_name) {
+  std::string arm;
+  arm.reserve(arm_name.size());
+  for (char c : arm_name) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      arm.push_back(c);
+    } else if (c >= 'A' && c <= 'Z') {
+      arm.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else {
+      arm.push_back('_');
+    }
+  }
+  const std::string ext = ".prrstore";
+  if (prefix.size() >= ext.size() &&
+      prefix.compare(prefix.size() - ext.size(), ext.size(), ext) == 0) {
+    return prefix.substr(0, prefix.size() - ext.size()) + "." + arm + ext;
+  }
+  return prefix + "." + arm + ext;
+}
+
+void StoreShard::merge(StoreShard&& other) {
+  if (other.empty()) return;
+  const uint64_t base = bytes.size();
+  bytes.insert(bytes.end(), other.bytes.begin(), other.bytes.end());
+  blocks.reserve(blocks.size() + other.blocks.size());
+  for (StoreBlockMeta b : other.blocks) {
+    b.offset += base;
+    blocks.push_back(b);
+  }
+  other.clear();
+}
+
+void StoreEncoder::encode(const TraceRecord* records, std::size_t n,
+                          uint64_t conn, uint8_t flags,
+                          StoreShard* shard) {
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t count = std::min(n - done, kMaxBlockRecords);
+    const TraceRecord* r = records + done;
+    // Worst case per record: at_ns + 6 fields as 10-byte varints, plus
+    // type, a and a 3-byte b. Sizing scratch once and writing through a
+    // raw cursor keeps the capture hot path free of per-byte capacity
+    // checks; scratch is bounded by kMaxBlockRecords and reused.
+    const std::size_t worst = count * (7 * kMaxVarintBytes + 5);
+    if (scratch_.size() < worst) scratch_.resize(worst);
+    uint8_t* p = scratch_.data();
+    // Column order: at_ns, type, a, b, f0..f5 (store_format.h).
+    int64_t prev_at = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      put_zigzag_raw(p, r[i].at_ns - prev_at);
+      prev_at = r[i].at_ns;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      *p++ = static_cast<uint8_t>(r[i].type);
+    }
+    for (std::size_t i = 0; i < count; ++i) *p++ = r[i].a;
+    for (std::size_t i = 0; i < count; ++i) put_varint_raw(p, r[i].b);
+    for (int k = 0; k < 6; ++k) {
+      uint64_t prev = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        put_zigzag_raw(p, static_cast<int64_t>(r[i].f[k] - prev));
+        prev = r[i].f[k];
+      }
+    }
+    StoreBlockMeta meta;
+    meta.conn = conn;
+    meta.offset = shard->bytes.size();
+    meta.bytes = static_cast<uint32_t>(p - scratch_.data());
+    meta.records = static_cast<uint32_t>(count);
+    meta.flags = flags;
+    shard->bytes.insert(shard->bytes.end(), scratch_.data(), p);
+    shard->blocks.push_back(meta);
+    done += count;
+  }
+}
+
+void StoreEncoder::encode(const FlightRecorder& ring, uint64_t conn,
+                          uint8_t flags, StoreShard* shard) {
+  const std::size_t n = ring.size();
+  if (n == 0) return;
+  if (ring.dropped() > 0) flags |= kBlockTruncated;
+  // An unwrapped ring (the common case: capacity above the connection's
+  // record count) is already one flat run — encode straight from ring
+  // storage, no copy. A wrapped ring is flattened with two bulk copies
+  // first: block boundaries (every kMaxBlockRecords) and delta resets
+  // are positions in the logical record stream, so the two runs cannot
+  // be encoded independently without changing the bytes.
+  const FlightRecorder::Runs runs = ring.runs();
+  if (runs.len[1] == 0) {
+    encode(runs.ptr[0], n, conn, flags, shard);
+    return;
+  }
+  static thread_local std::vector<TraceRecord> window;
+  window.resize(n);
+  std::copy(runs.ptr[0], runs.ptr[0] + runs.len[0], window.data());
+  std::copy(runs.ptr[1], runs.ptr[1] + runs.len[1],
+            window.data() + runs.len[0]);
+  encode(window.data(), n, conn, flags, shard);
+}
+
+bool decode_block(const uint8_t* data, std::size_t bytes,
+                  std::size_t records, uint64_t conn,
+                  std::vector<TraceRecord>* out) {
+  const uint8_t* p = data;
+  const uint8_t* end = data + bytes;
+  const std::size_t base = out->size();
+  out->resize(base + records);
+  TraceRecord* r = out->data() + base;
+  int64_t at = 0;
+  for (std::size_t i = 0; i < records; ++i) {
+    int64_t delta = 0;
+    if (!get_zigzag(&p, end, &delta)) return false;
+    at += delta;
+    r[i].at_ns = at;
+    r[i].conn = static_cast<uint32_t>(conn);
+  }
+  if (static_cast<std::size_t>(end - p) < 2 * records) return false;
+  for (std::size_t i = 0; i < records; ++i) {
+    const uint8_t t = *p++;
+    if (t >= static_cast<uint8_t>(TraceType::kCount)) return false;
+    r[i].type = static_cast<TraceType>(t);
+  }
+  for (std::size_t i = 0; i < records; ++i) r[i].a = *p++;
+  for (std::size_t i = 0; i < records; ++i) {
+    uint64_t v = 0;
+    if (!get_varint(&p, end, &v)) return false;
+    if (v > UINT16_MAX) return false;
+    r[i].b = static_cast<uint16_t>(v);
+  }
+  for (int k = 0; k < 6; ++k) {
+    uint64_t prev = 0;
+    for (std::size_t i = 0; i < records; ++i) {
+      int64_t delta = 0;
+      if (!get_zigzag(&p, end, &delta)) return false;
+      prev += static_cast<uint64_t>(delta);
+      r[i].f[k] = prev;
+    }
+  }
+  // Trailing garbage inside the block payload is as malformed as a
+  // short one.
+  return p == end;
+}
+
+StoreWriter::~StoreWriter() {
+  if (f_ != nullptr) {
+    std::fclose(f_);  // abandoned without finish(): leave no fd behind
+  }
+}
+
+bool StoreWriter::write(const uint8_t* p, std::size_t n) {
+  if (failed_ || f_ == nullptr) return false;
+  if (std::fwrite(p, 1, n, f_) != n) {
+    failed_ = true;
+    return false;
+  }
+  digest_.feed(p, n);
+  offset_ += n;
+  return true;
+}
+
+bool StoreWriter::open(const std::string& path, const StoreMeta& meta) {
+  if (f_ != nullptr) return false;
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_ == nullptr) {
+    failed_ = true;
+    return false;
+  }
+  // Blocks are ~1-2 kB; stdio's default buffer would turn nearly every
+  // append into a write(2). One big buffer makes the per-connection
+  // flush path syscall-free until it fills.
+  buf_.resize(1u << 20);
+  std::setvbuf(f_, reinterpret_cast<char*>(buf_.data()), _IOFBF,
+               buf_.size());
+  path_ = path;
+  std::vector<uint8_t> header;
+  header.insert(header.end(), kStoreMagic, kStoreMagic + 8);
+  put_u32le(header, meta.version);
+  put_u32le(header, 0);  // header flags, reserved
+  put_varint(header, meta.seed);
+  put_vstr(header, meta.arm);
+  put_vstr(header, meta.policy);
+  put_vstr(header, meta.scenario);
+  return write(header.data(), header.size());
+}
+
+bool StoreWriter::append_block(const StoreBlockMeta& meta,
+                               const uint8_t* data) {
+  if (!write(data, meta.bytes)) return false;
+  if (index_.empty() || index_.back().conn != meta.conn) ++conns_;
+  StoreBlockMeta m = meta;
+  m.offset = 0;  // offsets are implied on disk; don't persist shard ones
+  index_.push_back(m);
+  records_ += meta.records;
+  payload_bytes_ += meta.bytes;
+  return true;
+}
+
+bool StoreWriter::append_shard(const StoreShard& shard) {
+  for (const StoreBlockMeta& b : shard.blocks) {
+    if (!append_block(b, shard.bytes.data() + b.offset)) return false;
+  }
+  return true;
+}
+
+bool StoreWriter::finish() {
+  if (finished_) return !failed_;
+  finished_ = true;
+  if (f_ == nullptr) return false;
+  const uint64_t index_offset = offset_;
+  std::vector<uint8_t> tail;
+  put_varint(tail, index_.size());
+  uint64_t prev_conn = 0;
+  for (const StoreBlockMeta& b : index_) {
+    put_varint(tail, b.conn - prev_conn);
+    prev_conn = b.conn;
+    put_varint(tail, b.bytes);
+    put_varint(tail, b.records);
+    tail.push_back(b.flags);
+  }
+  put_u64le(tail, index_offset);
+  // Everything written so far plus the index and index_offset is under
+  // the digest; the digest field itself and the end magic are not.
+  if (!write(tail.data(), tail.size())) {
+    std::fclose(f_);
+    f_ = nullptr;
+    return false;
+  }
+  std::vector<uint8_t> end;
+  put_u64le(end, digest_.value());
+  end.insert(end.end(), kStoreEndMagic, kStoreEndMagic + 8);
+  const bool wrote =
+      std::fwrite(end.data(), 1, end.size(), f_) == end.size();
+  const bool clean = std::ferror(f_) == 0;
+  const bool closed = std::fclose(f_) == 0;
+  f_ = nullptr;
+  if (!wrote || !clean || !closed) failed_ = true;
+  return !failed_;
+}
+
+bool merge_store_files(const std::vector<std::string>& inputs,
+                       const std::string& out_path, std::string* err) {
+  if (inputs.empty()) {
+    if (err != nullptr) *err = "no input stores";
+    return false;
+  }
+  std::vector<StoreReader> readers(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (!StoreReader::open(inputs[i], &readers[i], err)) return false;
+    if (!(readers[i].meta() == readers[0].meta())) {
+      if (err != nullptr) {
+        *err = "store meta mismatch between " + inputs[0] + " and " +
+               inputs[i] + " (different seed/arm/policy/scenario)";
+      }
+      return false;
+    }
+  }
+
+  // Global block order: ascending conn; ties (same-conn segments within
+  // one store must stay in stream order) break by (input, block) order
+  // via the stable sort. Inputs cover disjoint id ranges in the fork-
+  // per-shard protocol, so this reproduces the single-process file.
+  struct Ref {
+    std::size_t input;
+    std::size_t block;
+    uint64_t conn;
+  };
+  std::vector<Ref> order;
+  for (std::size_t i = 0; i < readers.size(); ++i) {
+    const auto& blocks = readers[i].blocks();
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      order.push_back({i, b, blocks[b].conn});
+    }
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Ref& a, const Ref& b) {
+                     return a.conn < b.conn;
+                   });
+
+  StoreWriter writer;
+  if (!writer.open(out_path, readers[0].meta())) {
+    if (err != nullptr) *err = "cannot open " + out_path + " for write";
+    return false;
+  }
+  for (const Ref& ref : order) {
+    const StoreBlockMeta& b = readers[ref.input].blocks()[ref.block];
+    if (!writer.append_block(b, readers[ref.input].block_data(ref.block))) {
+      if (err != nullptr) *err = "write failure on " + out_path;
+      return false;
+    }
+  }
+  if (!writer.finish()) {
+    if (err != nullptr) *err = "short write finishing " + out_path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace prr::obs

@@ -1,0 +1,33 @@
+// Checked whole-file writers for machine-readable artifacts (BENCH_*.json,
+// shard JSON, JSONL history lines, torture summaries). Every bench and
+// gate used to hand-roll the same fopen/fwrite/ferror/fclose dance; a torn
+// artifact (ENOSPC, a buffered tail lost at exit) must fail the producing
+// tool, not surface later as unparseable JSON in a consumer. These helpers
+// centralize that contract: they return false on ANY failure — open, short
+// write, stream error, or fclose — and never leave a half-validated
+// success path behind.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace prr::util {
+
+// Writes `body` to `path` (truncating). Returns true iff every byte was
+// durably handed to the OS (fwrite complete, no stream error, fclose
+// clean). The body is not required to be JSON — the name records the
+// dominant use — but see checked_write_json for the validating form.
+bool checked_write_file(const std::string& path, std::string_view body);
+
+// checked_write_file + a structural JSON validation of `body` first
+// (obs::json_valid). Refusing to write malformed JSON at the producer
+// keeps bench/json_gate a backstop instead of the first line of defense.
+bool checked_write_json(const std::string& path, std::string_view body);
+
+// Appends `line` to `path` (creating it if missing). A trailing newline
+// is added when `line` does not end with one, so JSONL files stay one
+// record per line. Returns false on any error — a torn append corrupts
+// the whole JSONL history, so callers must treat false as fatal.
+bool checked_append_line(const std::string& path, std::string_view line);
+
+}  // namespace prr::util

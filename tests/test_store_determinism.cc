@@ -1,0 +1,102 @@
+// Trace-store files are a pure function of (population, arm, seed,
+// capture policy): byte-identical across worker-thread counts, with
+// tracing on or off, with pooling on or off, and across the split-run +
+// merge path. This is the contract that makes store artifacts diffable
+// and lets fork-per-shard sweeps reproduce the single-process file.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "exp/experiment.h"
+#include "obs/store/store_format.h"
+#include "workload/web_workload.h"
+
+namespace prr {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "prr_store_det_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+exp::RunOptions base_opts() {
+  exp::RunOptions opts;
+  opts.connections = 200;
+  opts.seed = 20110501;
+  opts.capture = "sample=4,full=timeout";
+  return opts;
+}
+
+// Runs the arm with `opts` and returns the produced store file's bytes
+// (deleting the file).
+std::string store_bytes(exp::RunOptions opts, const std::string& name) {
+  opts.store_path = temp_path(name);
+  const exp::ArmConfig arm = exp::ArmConfig::prr_arm();
+  workload::WebWorkload pop;
+  exp::run_arm(pop, arm, opts);
+  const std::string path = obs::store_path_for_arm(opts.store_path, arm.name);
+  std::string bytes = slurp(path);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+TEST(StoreDeterminism, ByteIdenticalAcrossThreadCounts) {
+  exp::RunOptions opts = base_opts();
+  opts.threads = 1;
+  const std::string serial = store_bytes(opts, "t1.prrstore");
+  ASSERT_FALSE(serial.empty());
+  opts.threads = 4;
+  EXPECT_EQ(store_bytes(opts, "t4.prrstore"), serial);
+  opts.threads = 8;
+  EXPECT_EQ(store_bytes(opts, "t8.prrstore"), serial);
+}
+
+TEST(StoreDeterminism, IndependentOfOtherObservability) {
+  exp::RunOptions opts = base_opts();
+  const std::string plain = store_bytes(opts, "plain.prrstore");
+  ASSERT_FALSE(plain.empty());
+
+  exp::RunOptions traced = base_opts();
+  traced.trace = true;
+  traced.collect_episodes = true;
+  EXPECT_EQ(store_bytes(traced, "traced.prrstore"), plain);
+
+  exp::RunOptions unpooled = base_opts();
+  unpooled.pool_connections = false;
+  EXPECT_EQ(store_bytes(unpooled, "unpooled.prrstore"), plain);
+
+  exp::RunOptions bounded = base_opts();
+  bounded.bounded_stats = true;
+  bounded.threads = 4;
+  EXPECT_EQ(store_bytes(bounded, "bounded.prrstore"), plain);
+}
+
+TEST(StoreDeterminism, StoreCaptureDoesNotPerturbAggregates) {
+  workload::WebWorkload pop;
+  const exp::ArmConfig arm = exp::ArmConfig::prr_arm();
+  exp::RunOptions off = base_opts();
+  exp::RunOptions on = base_opts();
+  on.store_path = temp_path("agg.prrstore");
+
+  const exp::ArmResult r_off = exp::run_arm(pop, arm, off);
+  const exp::ArmResult r_on = exp::run_arm(pop, arm, on);
+  EXPECT_EQ(r_off.metrics.data_segments_sent, r_on.metrics.data_segments_sent);
+  EXPECT_EQ(r_off.metrics.bytes_sent, r_on.metrics.bytes_sent);
+  EXPECT_EQ(r_off.metrics.retransmits_total, r_on.metrics.retransmits_total);
+  EXPECT_EQ(r_off.metrics.timeouts_total, r_on.metrics.timeouts_total);
+  EXPECT_EQ(r_off.metrics.fast_recovery_events,
+            r_on.metrics.fast_recovery_events);
+  EXPECT_EQ(r_off.total_workload_bytes, r_on.total_workload_bytes);
+  const std::string path = obs::store_path_for_arm(on.store_path, arm.name);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace prr
